@@ -1,0 +1,24 @@
+//! Criterion bench: crowd clustering vs DBSCAN (the runtime side of Fig. 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use erpd_bench::fig04::intersection_pedestrians;
+use erpd_tracking::{cluster_crowds, cluster_dbscan, CrowdParams};
+use std::hint::black_box;
+
+fn bench_clustering(c: &mut Criterion) {
+    let params = CrowdParams::default();
+    let mut group = c.benchmark_group("pedestrian_clustering");
+    for n in [20usize, 60, 120] {
+        let peds = intersection_pedestrians(n, 3);
+        group.bench_with_input(BenchmarkId::new("ours", n), &n, |b, _| {
+            b.iter(|| cluster_crowds(black_box(&peds), black_box(&params)))
+        });
+        group.bench_with_input(BenchmarkId::new("dbscan", n), &n, |b, _| {
+            b.iter(|| cluster_dbscan(black_box(&peds), 2.5, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

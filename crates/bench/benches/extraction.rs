@@ -1,0 +1,49 @@
+//! Criterion bench: the vehicle-side Moving Objects Extraction pipeline
+//! (the dominant module of Fig. 14b).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use erpd_geometry::{Obb2, Pose2, Vec2};
+use erpd_pointcloud::{dbscan, DbscanParams, ExtractionConfig, GroundFilter, MovingObjectExtractor};
+use erpd_sim::{scan, LidarConfig, LidarTarget};
+use std::hint::black_box;
+
+fn synthetic_frame() -> erpd_sim::LidarFrame {
+    let targets: Vec<LidarTarget> = (0..20)
+        .map(|i| LidarTarget {
+            id: i + 1,
+            footprint: Obb2::new(
+                Pose2::new(Vec2::new(10.0 + (i % 5) as f64 * 8.0, -15.0 + (i / 5) as f64 * 8.0), 0.3),
+                4.5,
+                1.8,
+            ),
+            height: 1.5,
+            is_static: i % 3 == 0,
+        })
+        .collect();
+    scan(&LidarConfig::default(), 0, Pose2::identity(), 1.8, &targets, &[])
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let frame = synthetic_frame();
+    let full = frame.full_cloud();
+    let filter = GroundFilter::new(1.8, 0.1);
+    let no_ground = filter.apply(&full);
+    let planar: Vec<Vec2> = no_ground.iter().map(|p| p.xy()).collect();
+
+    c.bench_function("ground_removal", |b| {
+        b.iter(|| filter.apply(black_box(&full)))
+    });
+    c.bench_function("dbscan_segmentation", |b| {
+        b.iter(|| dbscan(black_box(&planar), DbscanParams::default()))
+    });
+    c.bench_function("moving_object_extraction_frame", |b| {
+        b.iter(|| {
+            let mut ex = MovingObjectExtractor::new(ExtractionConfig::default());
+            ex.process(black_box(&no_ground));
+            ex.process(black_box(&no_ground))
+        })
+    });
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench: the dissemination knapsack (paper Fig. 14b reports the
+//! greedy decision at ~1 ms; the DP is the ablation yardstick).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use erpd_bench::ablation::dissemination_instance;
+use erpd_core::{dp_knapsack, greedy_knapsack};
+use std::hint::black_box;
+
+fn bench_knapsack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knapsack");
+    for n in [50usize, 200, 800] {
+        let (items, budget) = dissemination_instance(n, 7);
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| greedy_knapsack(black_box(&items), black_box(budget)))
+        });
+        group.bench_with_input(BenchmarkId::new("dp_g50", n), &n, |b, _| {
+            b.iter(|| dp_knapsack(black_box(&items), black_box(budget), 50))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knapsack);
+criterion_main!(benches);

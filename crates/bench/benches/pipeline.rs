@@ -1,0 +1,42 @@
+//! Criterion bench: the server-side pipeline per frame (map building +
+//! tracking + prediction + relevance), i.e. the server rows of Fig. 14b.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use erpd_edge::{EdgeServer, ServerConfig, Strategy, System, SystemConfig};
+use erpd_sim::{IntersectionMap, Scenario, ScenarioConfig, ScenarioKind};
+use std::hint::black_box;
+
+fn bench_server(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_pipeline");
+    group.sample_size(20);
+    for pct in [20u32, 50] {
+        // Build a warm scenario and capture a frame's uploads via System.
+        let mut s = Scenario::build(ScenarioConfig {
+            kind: ScenarioKind::RedLightViolation,
+            connected_fraction: pct as f64 / 100.0,
+            seed: 5,
+            ..ScenarioConfig::default()
+        });
+        let mut sys = System::new(SystemConfig::new(Strategy::Ours), &s.world);
+        for _ in 0..20 {
+            sys.tick(&mut s.world);
+            s.world.step();
+        }
+        group.bench_with_input(BenchmarkId::new("full_tick", pct), &pct, |b, _| {
+            b.iter(|| {
+                let mut world = s.world.clone();
+                let mut system = System::new(SystemConfig::new(Strategy::Ours), &world);
+                black_box(system.tick(&mut world))
+            })
+        });
+    }
+    // Server with empty uploads: the fixed overhead.
+    let mut server = EdgeServer::new(ServerConfig::default(), IntersectionMap::default());
+    group.bench_function("server_empty_frame", |b| {
+        b.iter(|| black_box(server.process(0.0, &[])))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

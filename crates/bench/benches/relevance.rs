@@ -1,0 +1,52 @@
+//! Criterion bench: pairwise relevance estimation at increasing object
+//! counts (the Relevance Estimation module).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use erpd_core::{trajectory_relevance, RelevanceConfig};
+use erpd_geometry::Vec2;
+use erpd_tracking::{predict_ctrv, ObjectId, ObjectKind, PredictedTrajectory, PredictorConfig};
+use std::hint::black_box;
+
+fn trajectories(n: usize) -> Vec<PredictedTrajectory> {
+    let cfg = PredictorConfig::default();
+    (0..n)
+        .map(|i| {
+            let angle = i as f64 / n as f64 * std::f64::consts::TAU;
+            predict_ctrv(
+                ObjectId(i as u64),
+                ObjectKind::Vehicle,
+                Vec2::from_angle(angle) * 40.0,
+                8.0 + (i % 5) as f64,
+                angle + std::f64::consts::PI, // inbound
+                0.0,
+                4.5,
+                cfg,
+            )
+        })
+        .collect()
+}
+
+fn bench_relevance(c: &mut Criterion) {
+    let cfg = RelevanceConfig::default();
+    let mut group = c.benchmark_group("relevance_matrix");
+    for n in [10usize, 20, 40] {
+        let trajs = trajectories(n);
+        group.bench_with_input(BenchmarkId::new("all_pairs", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for a in &trajs {
+                    for t in &trajs {
+                        if a.object != t.object {
+                            acc += trajectory_relevance(black_box(a), black_box(t), cfg).relevance;
+                        }
+                    }
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_relevance);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Shared experiment configuration.
+
+/// How thoroughly to run the experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessConfig {
+    /// Seeds per data point (the paper averages 5 runs per point).
+    pub seeds: Vec<u64>,
+    /// Speeds swept by the safety figures, km/h.
+    pub speeds_kmh: Vec<f64>,
+    /// Connected-vehicle fractions swept (paper: 20–50 %).
+    pub connectivity: Vec<f64>,
+    /// Simulated seconds per run.
+    pub duration: f64,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            seeds: (0..5).collect(),
+            speeds_kmh: vec![20.0, 25.0, 30.0, 35.0, 40.0],
+            connectivity: vec![0.2, 0.3, 0.4, 0.5],
+            duration: 15.0,
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// A reduced configuration for CI / smoke testing: two seeds, sparse
+    /// sweeps, shorter runs.
+    pub fn quick() -> Self {
+        HarnessConfig {
+            seeds: vec![0, 1],
+            speeds_kmh: vec![20.0, 40.0],
+            connectivity: vec![0.2, 0.5],
+            duration: 12.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_sweeps() {
+        let h = HarnessConfig::default();
+        assert_eq!(h.seeds.len(), 5);
+        assert_eq!(h.connectivity, vec![0.2, 0.3, 0.4, 0.5]);
+        assert!(h.speeds_kmh.contains(&20.0) && h.speeds_kmh.contains(&40.0));
+    }
+
+    #[test]
+    fn quick_is_smaller() {
+        let q = HarnessConfig::quick();
+        let d = HarnessConfig::default();
+        assert!(q.seeds.len() < d.seeds.len());
+        assert!(q.duration <= d.duration);
+    }
+}

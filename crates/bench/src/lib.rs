@@ -1,0 +1,24 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (see DESIGN.md §5 for the experiment index), plus the
+//! ablations of §6.
+//!
+//! The `experiments` binary drives everything:
+//!
+//! ```bash
+//! cargo run --release -p erpd-bench --bin experiments          # everything
+//! cargo run --release -p erpd-bench --bin experiments -- fig10 # one figure
+//! cargo run --release -p erpd-bench --bin experiments -- --quick
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablation;
+pub mod bandwidth;
+pub mod fig04;
+mod harness;
+pub mod safety;
+mod table;
+
+pub use harness::HarnessConfig;
+pub use table::{f1, f3, Table};

@@ -1,0 +1,139 @@
+//! Safety figures: Fig. 10(a) safe passage vs. speed, Fig. 10(b) safe
+//! passage vs. connectivity, Fig. 11 minimum inter-vehicle distance.
+
+use crate::{f1, f3, HarnessConfig, Table};
+use erpd_edge::{run_seeds, AveragedResult, RunConfig, Strategy};
+use erpd_sim::{ScenarioConfig, ScenarioKind};
+
+/// The strategies compared by the safety figures.
+pub const STRATEGIES: [Strategy; 4] = [
+    Strategy::Single,
+    Strategy::Emp,
+    Strategy::Ours,
+    Strategy::Unlimited,
+];
+
+fn strategy_name(s: Strategy) -> &'static str {
+    match s {
+        Strategy::Single => "Single",
+        Strategy::Emp => "EMP",
+        Strategy::Ours => "Ours",
+        Strategy::Unlimited => "Unlimited",
+        Strategy::V2v => "V2V",
+    }
+}
+
+fn scenario_name(k: ScenarioKind) -> &'static str {
+    match k {
+        ScenarioKind::UnprotectedLeftTurn => "left_turn",
+        ScenarioKind::RedLightViolation => "red_light",
+        ScenarioKind::OccludedPedestrian => "demo",
+    }
+}
+
+/// Runs one figure point.
+fn point(
+    cfg: &HarnessConfig,
+    kind: ScenarioKind,
+    strategy: Strategy,
+    speed_kmh: f64,
+    connected_fraction: f64,
+) -> AveragedResult {
+    let scenario = ScenarioConfig {
+        kind,
+        speed_kmh,
+        connected_fraction,
+        ..ScenarioConfig::default()
+    };
+    let mut rc = RunConfig::new(strategy, scenario);
+    rc.duration = cfg.duration;
+    run_seeds(rc, &cfg.seeds)
+}
+
+/// Fig. 10(a) + Fig. 11: sweep speed at 30 % connectivity; returns
+/// `(safe-passage table, min-distance table)`.
+pub fn sweep_speed(cfg: &HarnessConfig) -> (Table, Table) {
+    let mut safety = Table::new(
+        "fig10a_safe_passage_vs_speed",
+        &["scenario", "speed_kmh", "strategy", "safe_passage_pct"],
+    );
+    let mut distance = Table::new(
+        "fig11_min_distance_vs_speed",
+        &["scenario", "speed_kmh", "strategy", "min_distance_m"],
+    );
+    for kind in [ScenarioKind::UnprotectedLeftTurn, ScenarioKind::RedLightViolation] {
+        for &speed in &cfg.speeds_kmh {
+            for strategy in STRATEGIES {
+                let avg = point(cfg, kind, strategy, speed, 0.3);
+                safety.push_row(vec![
+                    scenario_name(kind).into(),
+                    f1(speed),
+                    strategy_name(strategy).into(),
+                    f1(avg.safe_passage_rate * 100.0),
+                ]);
+                distance.push_row(vec![
+                    scenario_name(kind).into(),
+                    f1(speed),
+                    strategy_name(strategy).into(),
+                    f3(avg.min_distance),
+                ]);
+            }
+        }
+    }
+    (safety, distance)
+}
+
+/// Fig. 10(b): sweep connectivity at 30 km/h (Single has no connectivity
+/// axis, so it is omitted as in the paper).
+pub fn sweep_connectivity(cfg: &HarnessConfig) -> Table {
+    let mut table = Table::new(
+        "fig10b_safe_passage_vs_connectivity",
+        &["scenario", "connected_pct", "strategy", "safe_passage_pct"],
+    );
+    for kind in [ScenarioKind::UnprotectedLeftTurn, ScenarioKind::RedLightViolation] {
+        for &frac in &cfg.connectivity {
+            for strategy in [Strategy::Emp, Strategy::Ours, Strategy::Unlimited] {
+                let avg = point(cfg, kind, strategy, 30.0, frac);
+                table.push_row(vec![
+                    scenario_name(kind).into(),
+                    f1(frac * 100.0),
+                    strategy_name(strategy).into(),
+                    f1(avg.safe_passage_rate * 100.0),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A single shared quick sweep exercises the full safety pipeline.
+    #[test]
+    fn quick_speed_sweep_has_paper_shape() {
+        let mut cfg = HarnessConfig::quick();
+        cfg.seeds = vec![0];
+        cfg.speeds_kmh = vec![25.0];
+        let (safety, distance) = sweep_speed(&cfg);
+        assert_eq!(safety.rows.len(), 2 * STRATEGIES.len());
+        // Single is always 0 %, Ours is 100 % at 25 km/h.
+        for row in &safety.rows {
+            match row[2].as_str() {
+                "Single" => assert_eq!(row[3], "0.0", "{row:?}"),
+                "Ours" => assert_eq!(row[3], "100.0", "{row:?}"),
+                _ => {}
+            }
+        }
+        // Ours keeps a larger clearance than Single (= 0).
+        for row in &distance.rows {
+            if row[2] == "Ours" {
+                assert!(row[3].parse::<f64>().unwrap() > 0.3, "{row:?}");
+            }
+            if row[2] == "Single" {
+                assert_eq!(row[3], "0.000");
+            }
+        }
+    }
+}

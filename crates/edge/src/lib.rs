@@ -1,0 +1,43 @@
+//! The edge-assisted relevance-aware perception dissemination **system**:
+//! everything between the simulated LiDAR and the alerted driver.
+//!
+//! * [`VehicleSide`] — vehicle-side processing per strategy (ours / EMP /
+//!   unlimited),
+//! * [`EdgeServer`] — traffic map, tracking, rule-based prediction,
+//!   relevance matrix,
+//! * [`System`] — one object wiring scans → uploads → server →
+//!   dissemination plan → driver alerts per frame,
+//! * [`run`] / [`run_seeds`] — scenario runners aggregating the paper's
+//!   evaluation metrics (safe passage, min distance, bandwidths, latency).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use erpd_edge::{run, RunConfig, Strategy};
+//! use erpd_sim::{ScenarioConfig, ScenarioKind};
+//!
+//! let cfg = RunConfig::new(Strategy::Ours, ScenarioConfig {
+//!     kind: ScenarioKind::UnprotectedLeftTurn,
+//!     ..ScenarioConfig::default()
+//! });
+//! let result = run(cfg);
+//! assert!(result.safe_passage);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod metrics;
+mod network;
+mod server;
+mod system;
+mod upload;
+
+pub use metrics::{run, run_seeds, AveragedResult, ModuleTimesMs, RunConfig, RunResult};
+pub use network::NetworkConfig;
+pub use server::{DetectionSummary, EdgeServer, ServerConfig, ServerFrame, TRACK_ID_BASE};
+pub use system::{FrameReport, ModuleTimes, System, SystemConfig, V2V_CHANNEL_BPS, V2V_RANGE_M};
+pub use upload::{
+    object_bytes, Strategy, Upload, UploadedObject, VehicleSide, EMP_CLUTTER_FRACTION,
+    EXTRACTION_TIME_SCALE, MIN_DETECTABLE_POINTS,
+};

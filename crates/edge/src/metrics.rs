@@ -1,0 +1,289 @@
+//! Run-level evaluation: drives a scenario under a strategy and aggregates
+//! the metrics every figure of the paper's evaluation plots.
+
+use crate::{ModuleTimes, Strategy, System, SystemConfig};
+use erpd_sim::{EntityKind, Scenario, ScenarioConfig};
+
+/// Configuration of one evaluation run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Strategy under test.
+    pub strategy: Strategy,
+    /// The scenario (kind, speed, connectivity, seed...).
+    pub scenario: ScenarioConfig,
+    /// Simulated duration, seconds.
+    pub duration: f64,
+    /// System parameters.
+    pub system: SystemConfig,
+}
+
+impl RunConfig {
+    /// A run with default system parameters.
+    pub fn new(strategy: Strategy, scenario: ScenarioConfig) -> Self {
+        let mut system = SystemConfig::new(strategy);
+        system.strategy = strategy;
+        RunConfig {
+            strategy,
+            scenario,
+            duration: 15.0,
+            system,
+        }
+    }
+}
+
+/// Aggregated outcome of one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunResult {
+    /// Neither protagonist was involved in any collision.
+    pub safe_passage: bool,
+    /// Minimum distance ever observed between the protagonists, metres
+    /// (0 when they collided).
+    pub min_distance: f64,
+    /// Collisions anywhere in the world during the run.
+    pub total_collisions: usize,
+    /// Mean per-connected-vehicle upload bandwidth, Mbit/s.
+    pub upload_mbps_per_vehicle: f64,
+    /// Mean total dissemination bandwidth, Mbit/s.
+    pub dissemination_mbps: f64,
+    /// Mean number of ground-truth moving objects matched by a server
+    /// detection per frame.
+    pub detected_objects: f64,
+    /// Mean number of predicted trajectories per frame.
+    pub predicted_trajectories: f64,
+    /// Mean end-to-end latency, milliseconds.
+    pub latency_ms: f64,
+    /// Mean per-module times, milliseconds.
+    pub module_times_ms: ModuleTimesMs,
+}
+
+/// Per-module mean times in milliseconds (Fig. 14b).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ModuleTimesMs {
+    /// Moving-object extraction.
+    pub extraction: f64,
+    /// Uplink transmission.
+    pub upload_tx: f64,
+    /// Traffic-map building.
+    pub map_build: f64,
+    /// Tracking + prediction + relevance.
+    pub prediction: f64,
+    /// Dissemination decision.
+    pub dissemination: f64,
+    /// Downlink transmission.
+    pub downlink_tx: f64,
+}
+
+/// Runs one scenario under one strategy and aggregates the metrics.
+pub fn run(config: RunConfig) -> RunResult {
+    let mut scenario = Scenario::build(config.scenario);
+    let mut system = System::new(config.system, &scenario.world);
+
+    let steps = (config.duration / scenario.world.config.dt).ceil() as usize;
+    let mut min_distance = f64::INFINITY;
+    let mut upload_bytes_sum = 0u64;
+    let mut upload_samples = 0usize;
+    let mut dissemination_bytes_sum = 0u64;
+    let mut detected_sum = 0.0;
+    let mut predicted_sum = 0.0;
+    let mut times = ModuleTimes::default();
+    let mut latency_sum = 0.0;
+    let mut frames = 0usize;
+
+    for _ in 0..steps {
+        let report = system.tick(&mut scenario.world);
+        frames += 1;
+        upload_bytes_sum += report.upload_bytes.iter().sum::<u64>();
+        upload_samples += report.upload_bytes.len();
+        dissemination_bytes_sum += report.dissemination_bytes;
+        predicted_sum += report.predicted_trajectories as f64;
+        latency_sum += report.latency();
+        times.extraction += report.times.extraction;
+        times.upload_tx += report.times.upload_tx;
+        times.map_build += report.times.map_build;
+        times.prediction += report.times.prediction;
+        times.dissemination += report.times.dissemination;
+        times.downlink_tx += report.times.downlink_tx;
+
+        // Ground-truth match: how many moving entities did the server know?
+        let moving: Vec<_> = scenario
+            .world
+            .entities()
+            .into_iter()
+            .filter(|e| {
+                e.kind != EntityKind::Building && e.velocity.norm() > 0.3 && !e.connected
+            })
+            .collect();
+        let matched = moving
+            .iter()
+            .filter(|e| {
+                report
+                    .detected_positions
+                    .iter()
+                    .any(|p| p.distance(e.position) <= 3.0)
+            })
+            .count();
+        detected_sum += matched as f64;
+
+        scenario.world.step();
+        if let Some(d) = scenario.world.distance_between(scenario.ego, scenario.hazard) {
+            min_distance = min_distance.min(d);
+        }
+    }
+
+    let ego = scenario.ego;
+    let hazard = scenario.hazard;
+    let protagonist_collided = scenario
+        .world
+        .collisions()
+        .iter()
+        .any(|&(a, b)| a == ego || b == ego || a == hazard || b == hazard);
+    if protagonist_collided {
+        min_distance = 0.0;
+    }
+
+    let frame_period = scenario.world.config.dt;
+    let to_mbps = |bytes: f64, n: f64| {
+        if n <= 0.0 {
+            0.0
+        } else {
+            bytes / n * 8.0 / frame_period / 1e6
+        }
+    };
+    let nf = frames.max(1) as f64;
+    RunResult {
+        safe_passage: !protagonist_collided,
+        min_distance: if min_distance.is_finite() { min_distance } else { 0.0 },
+        total_collisions: scenario.world.collisions().len(),
+        upload_mbps_per_vehicle: to_mbps(upload_bytes_sum as f64, upload_samples as f64),
+        dissemination_mbps: to_mbps(dissemination_bytes_sum as f64, nf),
+        detected_objects: detected_sum / nf,
+        predicted_trajectories: predicted_sum / nf,
+        latency_ms: latency_sum / nf * 1e3,
+        module_times_ms: ModuleTimesMs {
+            extraction: times.extraction / nf * 1e3,
+            upload_tx: times.upload_tx / nf * 1e3,
+            map_build: times.map_build / nf * 1e3,
+            prediction: times.prediction / nf * 1e3,
+            dissemination: times.dissemination / nf * 1e3,
+            downlink_tx: times.downlink_tx / nf * 1e3,
+        },
+    }
+}
+
+/// Runs `seeds` runs and returns the fraction with safe passage plus the
+/// mean of each metric — one point of a paper figure.
+pub fn run_seeds(base: RunConfig, seeds: &[u64]) -> AveragedResult {
+    let mut results = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        let mut cfg = base;
+        cfg.scenario.seed = seed;
+        results.push(run(cfg));
+    }
+    AveragedResult::from_runs(&results)
+}
+
+/// Seed-averaged metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AveragedResult {
+    /// Fraction of runs with safe passage, in `[0, 1]`.
+    pub safe_passage_rate: f64,
+    /// Mean minimum protagonist distance, metres.
+    pub min_distance: f64,
+    /// Mean per-vehicle upload bandwidth, Mbit/s.
+    pub upload_mbps_per_vehicle: f64,
+    /// Mean dissemination bandwidth, Mbit/s.
+    pub dissemination_mbps: f64,
+    /// Mean detected moving objects per frame.
+    pub detected_objects: f64,
+    /// Mean end-to-end latency, ms.
+    pub latency_ms: f64,
+    /// Mean module breakdown, ms.
+    pub module_times_ms: ModuleTimesMs,
+}
+
+impl AveragedResult {
+    /// Averages a set of run results.
+    pub fn from_runs(runs: &[RunResult]) -> Self {
+        let n = runs.len().max(1) as f64;
+        let mean = |f: &dyn Fn(&RunResult) -> f64| runs.iter().map(f).sum::<f64>() / n;
+        AveragedResult {
+            safe_passage_rate: mean(&|r| if r.safe_passage { 1.0 } else { 0.0 }),
+            min_distance: mean(&|r| r.min_distance),
+            upload_mbps_per_vehicle: mean(&|r| r.upload_mbps_per_vehicle),
+            dissemination_mbps: mean(&|r| r.dissemination_mbps),
+            detected_objects: mean(&|r| r.detected_objects),
+            latency_ms: mean(&|r| r.latency_ms),
+            module_times_ms: ModuleTimesMs {
+                extraction: mean(&|r| r.module_times_ms.extraction),
+                upload_tx: mean(&|r| r.module_times_ms.upload_tx),
+                map_build: mean(&|r| r.module_times_ms.map_build),
+                prediction: mean(&|r| r.module_times_ms.prediction),
+                dissemination: mean(&|r| r.module_times_ms.dissemination),
+                downlink_tx: mean(&|r| r.module_times_ms.downlink_tx),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erpd_sim::ScenarioKind;
+
+    fn scenario_cfg(kind: ScenarioKind) -> ScenarioConfig {
+        ScenarioConfig {
+            kind,
+            n_vehicles: 24, // smaller casts keep unit tests fast
+            n_pedestrians: 6,
+            seed: 11,
+            ..ScenarioConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_is_unsafe_ours_is_safe() {
+        let sc = scenario_cfg(ScenarioKind::UnprotectedLeftTurn);
+        let single = run(RunConfig::new(Strategy::Single, sc));
+        let ours = run(RunConfig::new(Strategy::Ours, sc));
+        assert!(!single.safe_passage);
+        assert_eq!(single.min_distance, 0.0);
+        assert!(ours.safe_passage, "ours = {ours:?}");
+        assert!(ours.min_distance > 0.5);
+    }
+
+    #[test]
+    fn bandwidth_ordering_matches_paper() {
+        let sc = scenario_cfg(ScenarioKind::RedLightViolation);
+        let ours = run(RunConfig::new(Strategy::Ours, sc));
+        let emp = run(RunConfig::new(Strategy::Emp, sc));
+        let unlimited = run(RunConfig::new(Strategy::Unlimited, sc));
+        // Upload: ours < emp < unlimited (Fig 12a).
+        assert!(
+            ours.upload_mbps_per_vehicle < emp.upload_mbps_per_vehicle,
+            "ours {} vs emp {}",
+            ours.upload_mbps_per_vehicle,
+            emp.upload_mbps_per_vehicle
+        );
+        assert!(emp.upload_mbps_per_vehicle < unlimited.upload_mbps_per_vehicle);
+        // Dissemination: ours < emp <= unlimited (Fig 13).
+        assert!(ours.dissemination_mbps < emp.dissemination_mbps);
+        assert!(emp.dissemination_mbps <= unlimited.dissemination_mbps + 1e-9);
+    }
+
+    #[test]
+    fn seed_averaging() {
+        let sc = scenario_cfg(ScenarioKind::UnprotectedLeftTurn);
+        let avg = run_seeds(RunConfig::new(Strategy::Single, sc), &[1, 2]);
+        assert_eq!(avg.safe_passage_rate, 0.0);
+        assert_eq!(avg.min_distance, 0.0);
+    }
+
+    #[test]
+    fn detected_objects_positive_for_sharing_strategies() {
+        let sc = scenario_cfg(ScenarioKind::UnprotectedLeftTurn);
+        let ours = run(RunConfig::new(Strategy::Ours, sc));
+        assert!(ours.detected_objects > 0.5, "detected = {}", ours.detected_objects);
+        let single = run(RunConfig::new(Strategy::Single, sc));
+        assert_eq!(single.detected_objects, 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! The wireless network model.
+//!
+//! The paper "use[s] the same maximum bandwidth as measured in [9]" (EMP,
+//! MobiCom'21). Those LTE/5G traces are not available, so — per DESIGN.md
+//! substitution 4 — we fix representative constants: a per-vehicle uplink
+//! and a shared downlink, both accounted per 100 ms LiDAR frame.
+
+/// Network parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkConfig {
+    /// Uplink throughput available to each vehicle, bits/s.
+    pub uplink_bps: f64,
+    /// Shared downlink throughput for dissemination, bits/s. The per-frame
+    /// byte budget derived from this is the knapsack bound `B`.
+    ///
+    /// Unlike the per-vehicle uplink, the downlink is one broadcast budget
+    /// shared by every dissemination in the cell, so it is deliberately an
+    /// order of magnitude below the sum of receiver link rates — this is
+    /// the constraint that makes the scheduling problem non-trivial (and
+    /// that EMP's relevance-blind round robin trips over).
+    pub downlink_bps: f64,
+    /// One-way base latency (scheduling + propagation), seconds.
+    pub base_latency: f64,
+    /// LiDAR frame period, seconds.
+    pub frame_period: f64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            uplink_bps: 40e6,   // 40 Mbit/s per vehicle
+            downlink_bps: 8e6, // 8 Mbit/s shared broadcast budget
+            base_latency: 0.008,
+            frame_period: 0.1,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// Per-vehicle uplink budget per frame, bytes.
+    pub fn uplink_budget_bytes(&self) -> u64 {
+        (self.uplink_bps * self.frame_period / 8.0) as u64
+    }
+
+    /// Shared downlink budget per frame, bytes — the `B` of the
+    /// dissemination knapsack.
+    pub fn downlink_budget_bytes(&self) -> u64 {
+        (self.downlink_bps * self.frame_period / 8.0) as u64
+    }
+
+    /// Transmission time of a payload on the uplink, seconds.
+    pub fn uplink_time(&self, bytes: u64) -> f64 {
+        self.base_latency + bytes as f64 * 8.0 / self.uplink_bps
+    }
+
+    /// Transmission time of a payload on the downlink, seconds.
+    pub fn downlink_time(&self, bytes: u64) -> f64 {
+        self.base_latency + bytes as f64 * 8.0 / self.downlink_bps
+    }
+
+    /// Converts a per-frame byte count into a bandwidth in Mbit/s.
+    pub fn bytes_per_frame_to_mbps(&self, bytes: u64) -> f64 {
+        bytes as f64 * 8.0 / self.frame_period / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_follow_rates() {
+        let n = NetworkConfig::default();
+        assert_eq!(n.uplink_budget_bytes(), 500_000);
+        assert_eq!(n.downlink_budget_bytes(), 100_000);
+    }
+
+    #[test]
+    fn times_scale_with_payload() {
+        let n = NetworkConfig::default();
+        let t_small = n.uplink_time(10_000);
+        let t_big = n.uplink_time(1_000_000);
+        assert!(t_big > t_small);
+        // 1 MB at 40 Mbit/s = 0.2 s plus base latency.
+        assert!((t_big - (0.008 + 0.2)).abs() < 1e-9);
+        // Downlink is the slower shared pipe.
+        assert!(n.downlink_time(100_000) > n.uplink_time(100_000));
+    }
+
+    #[test]
+    fn mbps_round_trip() {
+        let n = NetworkConfig::default();
+        // 500 kB per 100 ms frame = 40 Mbit/s.
+        assert!((n.bytes_per_frame_to_mbps(500_000) - 40.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,768 @@
+//! The edge server: traffic-map construction, tracking, rule-based
+//! trajectory prediction, and relevance-matrix assembly (paper Fig. 2,
+//! server side).
+//!
+//! Identity model: connected vehicles self-report stable network ids with
+//! their uploads, so they map to `ObjectId(sim id)` directly. Sensed
+//! objects are anonymous — the server's own [`Tracker`] assigns them ids,
+//! offset by [`TRACK_ID_BASE`] to keep the spaces disjoint.
+
+use crate::{Upload, UploadedObject};
+use erpd_core::{
+    build_relevance_matrix_multi, ObjectHypotheses, RelevanceConfig, RelevanceMatrix,
+};
+use erpd_geometry::{Pose2, Vec2};
+use erpd_pointcloud::{PointCloud, PointCloudMerger};
+use erpd_sim::{IntersectionMap, LaneLocation, Turn};
+use erpd_tracking::{
+    apply_rules, predict_ctrv, CrowdParams, Detection, LanePosition, ObjectId, ObjectKind,
+    ObjectState, PredictedTrajectory, PredictorConfig, RuleInput, Tracker, TrackerConfig,
+};
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Instant;
+
+/// Offset separating tracker-assigned object ids from vehicle network ids.
+pub const TRACK_ID_BASE: u64 = 1_000_000;
+
+/// Server-side configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Trajectory-prediction parameters (horizon `T` etc.).
+    pub predictor: PredictorConfig,
+    /// Relevance-estimation parameters (must share the horizon).
+    pub relevance: RelevanceConfig,
+    /// Follower relevance decay α (paper: 0.8).
+    pub alpha: f64,
+    /// Crowd-clustering thresholds (β, γ).
+    pub crowd: CrowdParams,
+    /// Voxel size of the merged traffic map, metres.
+    pub voxel_size: f64,
+    /// Radius for merging the same object uploaded by several vehicles.
+    pub detection_match_radius: f64,
+    /// Radius around a self-reported pose within which sensed detections
+    /// are the reporter itself.
+    pub self_report_radius: f64,
+    /// Planar extent below which a detection is classified as a pedestrian.
+    pub pedestrian_extent: f64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            predictor: PredictorConfig::default(),
+            relevance: RelevanceConfig::default(),
+            alpha: erpd_core::DEFAULT_ALPHA,
+            crowd: CrowdParams::default(),
+            voxel_size: 0.3,
+            detection_match_radius: 2.0,
+            self_report_radius: 3.0,
+            pedestrian_extent: 1.6,
+        }
+    }
+}
+
+/// One merged, tracked object known to the server this frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionSummary {
+    /// Server-assigned id.
+    pub id: ObjectId,
+    /// Planar position.
+    pub position: Vec2,
+    /// Classified kind.
+    pub kind: ObjectKind,
+    /// Wire size of this object's perception data.
+    pub bytes: u64,
+}
+
+/// Everything the dissemination stage needs for one frame.
+#[derive(Debug, Clone, Default)]
+pub struct ServerFrame {
+    /// The relevance matrix `R_ij`.
+    pub matrix: RelevanceMatrix,
+    /// Perception-data sizes per object.
+    pub sizes: BTreeMap<ObjectId, u64>,
+    /// Connected vehicles able to receive data.
+    pub receivers: Vec<ObjectId>,
+    /// Objects detected from the uploads (excluding self-reports).
+    pub detections: Vec<DetectionSummary>,
+    /// Number of trajectories actually predicted (Rules 1–3 savings).
+    pub predicted_trajectories: usize,
+    /// Points in the merged traffic map.
+    pub map_points: usize,
+    /// Wall time of map building (merge + association), seconds.
+    pub map_build_time: f64,
+    /// Wall time of tracking + prediction + relevance, seconds.
+    pub prediction_time: f64,
+}
+
+impl ServerFrame {
+    /// The server object (detection or self-report) closest to `pos` within
+    /// `radius` — lets evaluation code map ground-truth entities to server
+    /// ids.
+    pub fn object_near(&self, pos: Vec2, radius: f64) -> Option<ObjectId> {
+        self.detections
+            .iter()
+            .map(|d| (d.id, d.position.distance(pos)))
+            .filter(|&(_, d)| d <= radius)
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .map(|(id, _)| id)
+    }
+}
+
+/// The edge server.
+#[derive(Debug)]
+pub struct EdgeServer {
+    config: ServerConfig,
+    map: IntersectionMap,
+    tracker: Tracker,
+    pose_history: BTreeMap<u64, VecDeque<(f64, Pose2)>>,
+}
+
+impl EdgeServer {
+    /// Creates a server for a given HD map.
+    pub fn new(config: ServerConfig, map: IntersectionMap) -> Self {
+        EdgeServer {
+            config,
+            map,
+            tracker: Tracker::new(TrackerConfig::default()),
+            pose_history: BTreeMap::new(),
+        }
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Processes one frame of uploads.
+    pub fn process(&mut self, now: f64, uploads: &[Upload]) -> ServerFrame {
+        let t_map = Instant::now();
+
+        // --- Traffic map: merge every uploaded cloud (voxel dedup). ---
+        let mut merger = PointCloudMerger::new(self.config.voxel_size);
+        for u in uploads {
+            for o in &u.objects {
+                merger.add(&o.points);
+            }
+        }
+        let map_points = merger.output_points();
+
+        // --- Associate uploads of the same object across vehicles. ---
+        let mut merged: Vec<(Vec2, PointCloud)> = Vec::new();
+        for u in uploads {
+            for o in &u.objects {
+                match merged
+                    .iter_mut()
+                    .find(|(c, _)| c.distance(o.centroid) <= self.config.detection_match_radius)
+                {
+                    Some((c, cloud)) => {
+                        // Running centroid update.
+                        let n_old = cloud.len() as f64;
+                        let n_new = o.points.len() as f64;
+                        *c = (*c * n_old + o.centroid * n_new) / (n_old + n_new).max(1.0);
+                        cloud.merge_from(&o.points);
+                    }
+                    None => merged.push((o.centroid, o.points.clone())),
+                }
+            }
+        }
+
+        // --- Self-reports are authoritative: drop matching detections. ---
+        let mut self_report_bytes: BTreeMap<u64, u64> = BTreeMap::new();
+        merged.retain(|(c, cloud)| {
+            for u in uploads {
+                if u.pose.position.distance(*c) <= self.config.self_report_radius {
+                    let e = self_report_bytes.entry(u.vehicle_id).or_insert(0);
+                    *e += cloud.wire_size_bytes() as u64;
+                    return false;
+                }
+            }
+            true
+        });
+
+        // --- Classify detections. ---
+        let classified: Vec<Detection> = merged
+            .iter()
+            .map(|(c, cloud)| {
+                let extent = planar_extent(cloud);
+                Detection {
+                    position: *c,
+                    kind: if extent < self.config.pedestrian_extent {
+                        ObjectKind::Pedestrian
+                    } else {
+                        ObjectKind::Vehicle
+                    },
+                }
+            })
+            .collect();
+        let map_build_time = t_map.elapsed().as_secs_f64();
+
+        let t_predict = Instant::now();
+
+        // --- Track sensed objects over time. ---
+        let assigned = self.tracker.update(now, &classified);
+        let mut detections = Vec::new();
+        let mut sizes: BTreeMap<ObjectId, u64> = BTreeMap::new();
+        for ((raw_id, det), (_, cloud)) in assigned.iter().zip(&classified).zip(&merged) {
+            let id = ObjectId(TRACK_ID_BASE + raw_id.0);
+            let bytes = cloud.wire_size_bytes() as u64;
+            sizes.insert(id, bytes);
+            detections.push(DetectionSummary {
+                id,
+                position: det.position,
+                kind: det.kind,
+                bytes,
+            });
+        }
+
+        // --- Connected-vehicle state from pose history. ---
+        for u in uploads {
+            let h = self.pose_history.entry(u.vehicle_id).or_default();
+            h.push_back((now, u.pose));
+            while h.len() > 4 {
+                h.pop_front();
+            }
+        }
+        let mut receivers = Vec::new();
+        let mut rule_inputs: Vec<RuleInput> = Vec::new();
+        let mut kinematics: BTreeMap<ObjectId, (Vec2, f64, f64, f64)> = BTreeMap::new(); // pos, speed, heading, turn rate
+        for u in uploads {
+            let id = ObjectId(u.vehicle_id);
+            receivers.push(id);
+            let h = &self.pose_history[&u.vehicle_id];
+            let (velocity, turn_rate) = history_kinematics(h);
+            let mut state = ObjectState::new(id, ObjectKind::Vehicle, u.pose.position, velocity);
+            state.heading = u.pose.heading();
+            rule_inputs.push(RuleInput {
+                state,
+                lane: self
+                    .map
+                    .lane_of(u.pose.position, u.pose.heading())
+                    .map(to_lane_position),
+                in_intersection: self.map.in_intersection(u.pose.position),
+            });
+            kinematics.insert(
+                id,
+                (u.pose.position, velocity.norm(), u.pose.heading(), turn_rate),
+            );
+            sizes.entry(id).or_insert_with(|| {
+                self_report_bytes.get(&u.vehicle_id).copied().unwrap_or(600)
+            });
+        }
+
+        // --- Tracked objects become rule inputs too. ---
+        for track in self.tracker.tracks() {
+            if track.misses() > 0 {
+                continue; // not observed this frame
+            }
+            let id = ObjectId(TRACK_ID_BASE + track.id().0);
+            let velocity = track.velocity();
+            let state = ObjectState::new(id, track.kind(), track.position(), velocity);
+            let heading = state.heading;
+            rule_inputs.push(RuleInput {
+                state,
+                lane: if track.kind() == ObjectKind::Vehicle {
+                    self.map.lane_of(track.position(), heading).map(to_lane_position)
+                } else {
+                    None
+                },
+                in_intersection: self.map.in_intersection(track.position()),
+            });
+            kinematics.insert(
+                id,
+                (track.position(), velocity.norm(), heading, track.turn_rate()),
+            );
+        }
+
+        // --- Rules 1-3 select what to predict. ---
+        let selection = apply_rules(&rule_inputs, &self.config.crowd);
+        let lane_by_id: BTreeMap<ObjectId, Option<LanePosition>> = rule_inputs
+            .iter()
+            .map(|r| (r.state.id, r.lane))
+            .collect();
+
+        // --- Predict trajectories (map-route hypotheses + CTRV). ---
+        let mut objects: Vec<ObjectHypotheses> = Vec::new();
+        let mut predicted_ids: Vec<ObjectId> = selection.predicted_vehicles.clone();
+        // Receivers must always carry a trajectory so dissemination decisions
+        // can be made for them; followers are covered by propagation, other
+        // connected vehicles get a CTRV hypothesis.
+        for &r in &receivers {
+            let is_follower = selection.followers.iter().any(|f| f.follower == r);
+            if !predicted_ids.contains(&r) && !is_follower {
+                predicted_ids.push(r);
+            }
+        }
+        let receiver_set: std::collections::BTreeSet<ObjectId> = receivers.iter().copied().collect();
+        for id in &predicted_ids {
+            let Some(&(pos, speed, heading, turn_rate)) = kinematics.get(id) else {
+                continue;
+            };
+            // Body trajectories: where the object will actually be.
+            let mut trajectories = vec![predict_ctrv(
+                *id,
+                ObjectKind::Vehicle,
+                pos,
+                speed,
+                heading,
+                turn_rate,
+                4.5,
+                self.config.predictor,
+            )];
+            let lane = lane_by_id.get(id).copied().flatten();
+            let near_box = self.map.in_intersection(pos)
+                || lane.is_some_and(|l| l.distance_to_stop < 15.0);
+            match lane {
+                Some(lane) => trajectories.extend(self.route_hypotheses(*id, pos, speed, &lane)),
+                None if near_box => {
+                    trajectories.extend(self.route_hypotheses_unmapped(*id, pos, heading, speed))
+                }
+                None => {}
+            }
+            // Receiver-side extras: a connected vehicle waiting at or inside
+            // the intersection will proceed shortly; predict its routes at a
+            // nominal proceed speed so crossing traffic stays relevant *to
+            // it* while it waits. These hypotheses never make the waiting
+            // vehicle itself look like a moving hazard to others.
+            let mut receiver_extra = Vec::new();
+            if receiver_set.contains(id) && speed < 2.0 && near_box {
+                let proceed = 5.0;
+                match lane {
+                    Some(lane) => {
+                        receiver_extra.extend(self.route_hypotheses(*id, pos, proceed, &lane))
+                    }
+                    None => receiver_extra.extend(
+                        self.route_hypotheses_unmapped(*id, pos, heading, proceed),
+                    ),
+                }
+            }
+            objects.push(ObjectHypotheses {
+                object: *id,
+                trajectories,
+                receiver_extra,
+            });
+        }
+        // Crowd representatives (Rule 3).
+        for crowd in &selection.crowds {
+            let rep = &selection.pedestrians[crowd.representative];
+            objects.push(ObjectHypotheses::single(predict_ctrv(
+                rep.id,
+                ObjectKind::Pedestrian,
+                rep.position,
+                rep.speed,
+                rep.orientation,
+                0.0,
+                0.6,
+                self.config.predictor,
+            )));
+            // Crowd members share the representative's data relevance: give
+            // each member a copy of the representative's trajectory so their
+            // perception data can be disseminated when the crowd conflicts.
+            for &m in &crowd.members {
+                if m == crowd.representative {
+                    continue;
+                }
+                let member = &selection.pedestrians[m];
+                objects.push(ObjectHypotheses::single(predict_ctrv(
+                    member.id,
+                    ObjectKind::Pedestrian,
+                    member.position,
+                    rep.speed,
+                    rep.orientation,
+                    0.0,
+                    0.6,
+                    self.config.predictor,
+                )));
+            }
+        }
+        let predicted_trajectories = predicted_ids.len() + selection.crowds.len();
+
+        // --- Visibility from uploads: receiver r already perceives o if r
+        // uploaded a cluster at o's position (paper §III-A). ---
+        let upload_centroids: BTreeMap<u64, Vec<Vec2>> = uploads
+            .iter()
+            .map(|u| {
+                (
+                    u.vehicle_id,
+                    u.objects.iter().map(|o: &UploadedObject| o.centroid).collect(),
+                )
+            })
+            .collect();
+        let positions: BTreeMap<ObjectId, Vec2> =
+            kinematics.iter().map(|(&id, &(p, ..))| (id, p)).collect();
+        let visible = |receiver: ObjectId, object: ObjectId| -> bool {
+            let Some(centroids) = upload_centroids.get(&receiver.0) else {
+                return false;
+            };
+            let Some(&pos) = positions.get(&object) else {
+                return false;
+            };
+            centroids.iter().any(|c| c.distance(pos) <= 2.5)
+        };
+
+        // --- Relevance matrix (with follower propagation). ---
+        let matrix = build_relevance_matrix_multi(
+            &objects,
+            &receivers,
+            &selection.followers,
+            self.config.alpha,
+            self.config.relevance,
+            visible,
+        );
+        let prediction_time = t_predict.elapsed().as_secs_f64();
+
+        ServerFrame {
+            matrix,
+            sizes,
+            receivers,
+            detections,
+            predicted_trajectories,
+            map_points,
+            map_build_time,
+            prediction_time,
+        }
+    }
+
+    /// Map-based route hypotheses for a vehicle on an approach lane.
+    fn route_hypotheses(
+        &self,
+        id: ObjectId,
+        pos: Vec2,
+        speed: f64,
+        lane: &LanePosition,
+    ) -> Vec<PredictedTrajectory> {
+        let approach = match lane.lane_id / 8 {
+            0 => erpd_sim::Approach::East,
+            1 => erpd_sim::Approach::North,
+            2 => erpd_sim::Approach::West,
+            _ => erpd_sim::Approach::South,
+        };
+        let lane_idx = (lane.lane_id % 8) as usize;
+        let mut turns = vec![Turn::Straight];
+        if lane_idx == 0 {
+            turns.push(Turn::Left);
+        }
+        if lane_idx == self.map.lanes_per_dir() - 1 {
+            turns.push(Turn::Right);
+        }
+        let mut out = Vec::new();
+        for turn in turns {
+            let route = self.map.route(erpd_sim::RouteSpec {
+                approach,
+                lane: lane_idx,
+                turn,
+            });
+            let (s0, lat) = route.path.project(pos);
+            if lat > 3.0 {
+                continue;
+            }
+            let reach = s0 + speed * self.config.predictor.horizon + 5.0;
+            if let Some(path) = route.path.slice(s0, reach) {
+                out.push(PredictedTrajectory::from_path(
+                    id,
+                    ObjectKind::Vehicle,
+                    path,
+                    speed,
+                    4.5,
+                    self.config.predictor,
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl EdgeServer {
+    /// Route hypotheses for a vehicle *inside* the intersection box (no
+    /// lane assignment): every map route whose centreline passes close to
+    /// the vehicle with a compatible heading.
+    fn route_hypotheses_unmapped(
+        &self,
+        id: ObjectId,
+        pos: Vec2,
+        heading: f64,
+        speed: f64,
+    ) -> Vec<PredictedTrajectory> {
+        let mut out = Vec::new();
+        for approach in erpd_sim::Approach::ALL {
+            for lane in 0..self.map.lanes_per_dir() {
+                let mut turns = vec![Turn::Straight];
+                if lane == 0 {
+                    turns.push(Turn::Left);
+                }
+                if lane == self.map.lanes_per_dir() - 1 {
+                    turns.push(Turn::Right);
+                }
+                for turn in turns {
+                    let route = self.map.route(erpd_sim::RouteSpec { approach, lane, turn });
+                    let (s0, lat) = route.path.project(pos);
+                    if lat > 2.0 || s0 < route.stop_line_s - 25.0 || s0 > route.exit_s + 5.0 {
+                        continue;
+                    }
+                    let path_heading = route.path.heading_at(s0);
+                    // Tighter than the lane-lookup gate: a vehicle a third
+                    // of the way into its turn must no longer match the
+                    // straight route.
+                    if erpd_geometry::angle::angle_dist(heading, path_heading)
+                        > std::f64::consts::FRAC_PI_6
+                    {
+                        continue;
+                    }
+                    let reach = s0 + speed * self.config.predictor.horizon + 5.0;
+                    if let Some(path) = route.path.slice(s0, reach) {
+                        out.push(PredictedTrajectory::from_path(
+                            id,
+                            ObjectKind::Vehicle,
+                            path,
+                            speed,
+                            4.5,
+                            self.config.predictor,
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Converts the sim map's lane lookup into the tracking crate's type.
+fn to_lane_position(l: LaneLocation) -> LanePosition {
+    LanePosition {
+        lane_id: l.lane_id,
+        distance_to_stop: l.distance_to_stop,
+    }
+}
+
+/// Velocity and turn rate from a short pose history.
+fn history_kinematics(h: &VecDeque<(f64, Pose2)>) -> (Vec2, f64) {
+    if h.len() < 2 {
+        return (Vec2::ZERO, 0.0);
+    }
+    let (t0, p0) = h[0];
+    let (t1, p1) = h[h.len() - 1];
+    let dt = t1 - t0;
+    if dt <= 1e-9 {
+        return (Vec2::ZERO, 0.0);
+    }
+    let v = (p1.position - p0.position) / dt;
+    let w = erpd_geometry::angle::angle_diff(p1.heading(), p0.heading()) / dt;
+    (v, w)
+}
+
+/// Planar bounding-box diagonal of a cloud.
+fn planar_extent(cloud: &PointCloud) -> f64 {
+    match cloud.bounds() {
+        None => 0.0,
+        Some((min, max)) => {
+            let dx = max.x - min.x;
+            let dy = max.y - min.y;
+            (dx * dx + dy * dy).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erpd_geometry::Vec3;
+
+    fn cloud_at(x: f64, y: f64, n: usize, spread: f64) -> PointCloud {
+        (0..n)
+            .map(|i| {
+                Vec3::new(
+                    x + spread * (i % 4) as f64 / 4.0,
+                    y + spread * (i / 4) as f64 / 4.0,
+                    0.8,
+                )
+            })
+            .collect()
+    }
+
+    fn upload(vehicle_id: u64, pose: Pose2, objects: Vec<(f64, f64, usize, f64)>) -> Upload {
+        let objects = objects
+            .into_iter()
+            .map(|(x, y, n, spread)| {
+                let points = cloud_at(x, y, n, spread);
+                UploadedObject {
+                    centroid: Vec2::new(x + spread / 2.0, y + spread / 2.0),
+                    points,
+                }
+            })
+            .collect();
+        Upload {
+            vehicle_id,
+            pose,
+            objects,
+            bytes: 1000,
+            processing_time: 0.001,
+        }
+    }
+
+    fn server() -> EdgeServer {
+        EdgeServer::new(ServerConfig::default(), IntersectionMap::default())
+    }
+
+    #[test]
+    fn merges_duplicate_uploads_of_one_object() {
+        let mut s = server();
+        // Two vehicles both upload the same car at (20, 0).
+        let u1 = upload(1, Pose2::new(Vec2::new(-10.0, 0.0), 0.0), vec![(20.0, 0.0, 40, 3.0)]);
+        let u2 = upload(2, Pose2::new(Vec2::new(40.0, 0.0), 0.0), vec![(20.3, 0.2, 40, 3.0)]);
+        let f = s.process(0.0, &[u1, u2]);
+        assert_eq!(f.detections.len(), 1);
+        assert_eq!(f.detections[0].kind, ObjectKind::Vehicle);
+        assert_eq!(f.receivers.len(), 2);
+    }
+
+    #[test]
+    fn self_reports_suppress_detections() {
+        let mut s = server();
+        // Vehicle 2's cluster sits exactly at vehicle 1's reported pose.
+        let u1 = upload(1, Pose2::new(Vec2::new(20.0, 0.0), 0.0), vec![]);
+        let u2 = upload(2, Pose2::new(Vec2::new(40.0, 0.0), 0.0), vec![(20.0, 0.0, 40, 2.0)]);
+        let f = s.process(0.0, &[u1, u2]);
+        assert!(f.detections.is_empty(), "self-reported vehicle must not duplicate");
+        // Its bytes become the connected vehicle's data size.
+        assert!(f.sizes[&ObjectId(1)] > 600);
+    }
+
+    #[test]
+    fn classifies_pedestrians_by_extent() {
+        let mut s = server();
+        let u = upload(
+            1,
+            Pose2::new(Vec2::new(-10.0, 0.0), 0.0),
+            vec![(20.0, 0.0, 40, 3.0), (10.0, 5.0, 12, 0.4)],
+        );
+        let f = s.process(0.0, &[u]);
+        let kinds: Vec<ObjectKind> = f.detections.iter().map(|d| d.kind).collect();
+        assert!(kinds.contains(&ObjectKind::Vehicle));
+        assert!(kinds.contains(&ObjectKind::Pedestrian));
+    }
+
+    #[test]
+    fn detects_conflict_between_connected_vehicles() {
+        let mut s = server();
+        // Two connected vehicles on a perpendicular collision course,
+        // mutually invisible (no uploads of each other).
+        for step in 0..5 {
+            let t = step as f64 * 0.1;
+            let u1 = upload(
+                1,
+                Pose2::new(Vec2::new(-30.0 + 10.0 * t, -1.75), 0.0),
+                vec![],
+            );
+            let u2 = upload(
+                2,
+                Pose2::new(Vec2::new(1.75, -30.0 + 10.0 * t), std::f64::consts::FRAC_PI_2),
+                vec![],
+            );
+            let f = s.process(t, &[u1, u2]);
+            if step == 4 {
+                assert!(
+                    f.matrix.get(ObjectId(1), ObjectId(2)) > 0.0,
+                    "vehicle 2 must be relevant to vehicle 1"
+                );
+                assert!(f.matrix.get(ObjectId(2), ObjectId(1)) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn visible_objects_not_relevant() {
+        let mut s = server();
+        for step in 0..5 {
+            let t = step as f64 * 0.1;
+            // Vehicle 1 uploads a cluster at vehicle 2's position: it SEES 2.
+            let p2 = Vec2::new(1.75, -30.0 + 10.0 * t);
+            let u1 = upload(
+                1,
+                Pose2::new(Vec2::new(-30.0 + 10.0 * t, -1.75), 0.0),
+                vec![(p2.x, p2.y, 30, 2.0)],
+            );
+            let u2 = upload(2, Pose2::new(p2, std::f64::consts::FRAC_PI_2), vec![]);
+            let f = s.process(t, &[u1, u2]);
+            if step == 4 {
+                assert_eq!(
+                    f.matrix.get(ObjectId(1), ObjectId(2)),
+                    0.0,
+                    "visible object must have zero relevance"
+                );
+                // 2 does not see 1, so 1 stays relevant to 2.
+                assert!(f.matrix.get(ObjectId(2), ObjectId(1)) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn left_turn_hypothesis_found_from_inner_lane() {
+        let mut s = server();
+        let map = IntersectionMap::default();
+        // Connected vehicle eastbound inner lane, 30 m before the stop line,
+        // and a sensed vehicle oncoming (westbound outer lane) uploaded by a
+        // third vehicle. Straight paths never cross; only the left-turn
+        // hypothesis conflicts.
+        for step in 0..6 {
+            let t = step as f64 * 0.1;
+            let ego_pose = map.spawn_pose(erpd_sim::Approach::East, 0, 30.0 - 8.0 * t);
+            let u_ego = upload(1, ego_pose, vec![]);
+            let hazard_x = 40.0 - 8.0 * t;
+            let u_obs = upload(
+                3,
+                Pose2::new(Vec2::new(60.0, 5.25), std::f64::consts::PI),
+                vec![(hazard_x, 5.25, 40, 3.0)],
+            );
+            let f = s.process(t, &[u_ego, u_obs]);
+            if step == 5 {
+                let hazard_id = f
+                    .object_near(Vec2::new(hazard_x + 1.5, 5.25 + 1.5), 4.0)
+                    .expect("hazard tracked");
+                assert!(
+                    f.matrix.get(ObjectId(1), hazard_id) > 0.0,
+                    "left-turn hypothesis must flag the oncoming car; matrix = {:?}",
+                    f.matrix
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rules_reduce_predicted_trajectories() {
+        let mut s = server();
+        let map = IntersectionMap::default();
+        // Eight connected vehicles queued in one lane: only the leader (plus
+        // the other receivers' fallback CTRV) is predicted... the queue
+        // followers must NOT each get a trajectory.
+        let mut uploads = Vec::new();
+        for k in 0..8u64 {
+            let pose = map.spawn_pose(erpd_sim::Approach::East, 0, 15.0 + 10.0 * k as f64);
+            uploads.push(upload(k + 1, pose, vec![]));
+        }
+        let f = s.process(0.0, &uploads);
+        assert!(
+            f.predicted_trajectories <= 2,
+            "queue must collapse to its leader, got {}",
+            f.predicted_trajectories
+        );
+    }
+
+    #[test]
+    fn empty_frame_is_fine() {
+        let mut s = server();
+        let f = s.process(0.0, &[]);
+        assert!(f.matrix.is_empty());
+        assert!(f.detections.is_empty());
+        assert!(f.receivers.is_empty());
+        assert_eq!(f.map_points, 0);
+    }
+
+    #[test]
+    fn object_near_lookup() {
+        let mut s = server();
+        let u = upload(1, Pose2::new(Vec2::new(-20.0, 0.0), 0.0), vec![(20.0, 0.0, 40, 3.0)]);
+        let f = s.process(0.0, &[u]);
+        assert!(f.object_near(Vec2::new(21.0, 1.0), 4.0).is_some());
+        assert!(f.object_near(Vec2::new(90.0, 0.0), 4.0).is_none());
+    }
+}

@@ -1,0 +1,261 @@
+//! Bivariate Gaussian distributions.
+//!
+//! Trajectory predictors in the literature the paper builds on (Social-LSTM
+//! and friends, refs [24]–[26]) emit a bivariate Gaussian per predicted
+//! waypoint. Our kinematic predictor does the same so the uncertainty-aware
+//! parts of the relevance pipeline exercise the identical interface.
+
+use crate::Vec2;
+
+/// A bivariate Gaussian over the road plane.
+///
+/// # Examples
+///
+/// ```
+/// use erpd_geometry::{BivariateGaussian, Vec2};
+///
+/// let g = BivariateGaussian::isotropic(Vec2::ZERO, 1.0).unwrap();
+/// // The pdf peaks at the mean.
+/// assert!(g.pdf(Vec2::ZERO) > g.pdf(Vec2::new(1.0, 1.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BivariateGaussian {
+    mean: Vec2,
+    sigma_x: f64,
+    sigma_y: f64,
+    rho: f64,
+}
+
+impl BivariateGaussian {
+    /// Creates a Gaussian with per-axis standard deviations and correlation
+    /// `rho`. Returns `None` unless `sigma_x, sigma_y > 0` and `|rho| < 1`.
+    pub fn new(mean: Vec2, sigma_x: f64, sigma_y: f64, rho: f64) -> Option<Self> {
+        let ok = sigma_x.is_finite()
+            && sigma_y.is_finite()
+            && rho.is_finite()
+            && sigma_x > 0.0
+            && sigma_y > 0.0
+            && rho.abs() < 1.0
+            && mean.is_finite();
+        ok.then_some(BivariateGaussian {
+            mean,
+            sigma_x,
+            sigma_y,
+            rho,
+        })
+    }
+
+    /// Creates an isotropic (circular) Gaussian.
+    pub fn isotropic(mean: Vec2, sigma: f64) -> Option<Self> {
+        Self::new(mean, sigma, sigma, 0.0)
+    }
+
+    /// The mean.
+    #[inline]
+    pub fn mean(&self) -> Vec2 {
+        self.mean
+    }
+
+    /// Standard deviation along x.
+    #[inline]
+    pub fn sigma_x(&self) -> f64 {
+        self.sigma_x
+    }
+
+    /// Standard deviation along y.
+    #[inline]
+    pub fn sigma_y(&self) -> f64 {
+        self.sigma_y
+    }
+
+    /// Correlation coefficient.
+    #[inline]
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Squared Mahalanobis distance from the mean to `p`.
+    pub fn mahalanobis_squared(&self, p: Vec2) -> f64 {
+        let dx = (p.x - self.mean.x) / self.sigma_x;
+        let dy = (p.y - self.mean.y) / self.sigma_y;
+        let one_m_r2 = 1.0 - self.rho * self.rho;
+        (dx * dx - 2.0 * self.rho * dx * dy + dy * dy) / one_m_r2
+    }
+
+    /// Probability density at `p`.
+    pub fn pdf(&self, p: Vec2) -> f64 {
+        let one_m_r2 = 1.0 - self.rho * self.rho;
+        let norm = 1.0 / (2.0 * std::f64::consts::PI * self.sigma_x * self.sigma_y * one_m_r2.sqrt());
+        norm * (-0.5 * self.mahalanobis_squared(p)).exp()
+    }
+
+    /// Probability mass inside a circle, approximated by treating the
+    /// distribution as the isotropic Gaussian whose sigma is the geometric
+    /// mean of the axes (closed-form Rayleigh CDF). Exact for isotropic
+    /// inputs centred on the circle; used as a cheap collision-probability
+    /// proxy.
+    pub fn mass_in_circle(&self, center: Vec2, radius: f64) -> f64 {
+        if radius <= 0.0 {
+            return 0.0;
+        }
+        let sigma = (self.sigma_x * self.sigma_y).sqrt();
+        let d = self.mean.distance(center);
+        // Rice-distribution CDF approximation via Marcum Q ~ use a simple
+        // shifted-Rayleigh bound: mass of an isotropic Gaussian in a circle
+        // offset by d, approximated by integrating the 1-D profile.
+        let r2 = radius * radius;
+        let s2 = 2.0 * sigma * sigma;
+        if d < 1e-9 {
+            return 1.0 - (-r2 / s2).exp();
+        }
+        // Numerical radial integration (few iterations, accurate to ~1e-4).
+        // The integrand r/sigma^2 * exp(-(r^2+d^2)/(2 sigma^2)) * I0(r d / sigma^2)
+        // is evaluated with the exponentially-scaled Bessel function so the
+        // exp(z) growth of I0 and the Gaussian decay cancel analytically and
+        // far offsets do not overflow.
+        let steps = 64;
+        let mut acc = 0.0;
+        for i in 0..steps {
+            let r = (i as f64 + 0.5) / steps as f64 * radius;
+            let z = r * d / (sigma * sigma);
+            let i0e = bessel_i0_scaled(z);
+            let log_term = -(r * r + d * d) / s2 + z;
+            acc += r / (sigma * sigma) * log_term.exp() * i0e * (radius / steps as f64);
+        }
+        acc.clamp(0.0, 1.0)
+    }
+
+    /// Grows the uncertainty with prediction horizon: returns a copy whose
+    /// sigmas are inflated by `factor` (≥ 1 keeps it valid).
+    pub fn inflated(&self, factor: f64) -> Option<BivariateGaussian> {
+        Self::new(self.mean, self.sigma_x * factor, self.sigma_y * factor, self.rho)
+    }
+}
+
+/// Exponentially-scaled modified Bessel function `I0(x) * exp(-|x|)`
+/// (Abramowitz & Stegun 9.8.1/9.8.2 polynomial fits).
+fn bessel_i0_scaled(x: f64) -> f64 {
+    let ax = x.abs();
+    if ax < 3.75 {
+        let t = (ax / 3.75).powi(2);
+        let i0 = 1.0
+            + t * (3.5156229
+                + t * (3.0899424 + t * (1.2067492 + t * (0.2659732 + t * (0.0360768 + t * 0.0045813)))));
+        i0 * (-ax).exp()
+    } else {
+        let t = 3.75 / ax;
+        (1.0 / ax.sqrt())
+            * (0.39894228
+                + t * (0.01328592
+                    + t * (0.00225319
+                        + t * (-0.00157565
+                            + t * (0.00916281
+                                + t * (-0.02057706
+                                    + t * (0.02635537 + t * (-0.01647633 + t * 0.00392377))))))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_rules() {
+        assert!(BivariateGaussian::new(Vec2::ZERO, 1.0, 1.0, 0.0).is_some());
+        assert!(BivariateGaussian::new(Vec2::ZERO, 0.0, 1.0, 0.0).is_none());
+        assert!(BivariateGaussian::new(Vec2::ZERO, 1.0, 1.0, 1.0).is_none());
+        assert!(BivariateGaussian::new(Vec2::ZERO, 1.0, -1.0, 0.0).is_none());
+        assert!(BivariateGaussian::new(Vec2::new(f64::NAN, 0.0), 1.0, 1.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn pdf_peaks_at_mean_and_is_symmetric() {
+        let g = BivariateGaussian::isotropic(Vec2::new(1.0, 2.0), 0.5).unwrap();
+        let at_mean = g.pdf(Vec2::new(1.0, 2.0));
+        for offset in [
+            Vec2::new(0.3, 0.0),
+            Vec2::new(-0.3, 0.0),
+            Vec2::new(0.0, 0.3),
+            Vec2::new(0.0, -0.3),
+        ] {
+            let p = g.pdf(Vec2::new(1.0, 2.0) + offset);
+            assert!(p < at_mean);
+            let q = g.pdf(Vec2::new(1.0, 2.0) - offset);
+            assert!((p - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_one_numerically() {
+        let g = BivariateGaussian::new(Vec2::ZERO, 0.8, 1.3, 0.4).unwrap();
+        let step = 0.1;
+        let mut acc = 0.0;
+        let mut x = -8.0;
+        while x < 8.0 {
+            let mut y = -8.0;
+            while y < 8.0 {
+                acc += g.pdf(Vec2::new(x, y)) * step * step;
+                y += step;
+            }
+            x += step;
+        }
+        assert!((acc - 1.0).abs() < 1e-2, "integral = {acc}");
+    }
+
+    #[test]
+    fn mahalanobis_units() {
+        let g = BivariateGaussian::new(Vec2::ZERO, 2.0, 1.0, 0.0).unwrap();
+        assert!((g.mahalanobis_squared(Vec2::new(2.0, 0.0)) - 1.0).abs() < 1e-12);
+        assert!((g.mahalanobis_squared(Vec2::new(0.0, 1.0)) - 1.0).abs() < 1e-12);
+        assert_eq!(g.mahalanobis_squared(Vec2::ZERO), 0.0);
+    }
+
+    #[test]
+    fn mass_in_circle_centered() {
+        let g = BivariateGaussian::isotropic(Vec2::ZERO, 1.0).unwrap();
+        // 1-sigma circle of an isotropic Gaussian holds 1 - e^{-1/2} ≈ 39.3 %.
+        let m = g.mass_in_circle(Vec2::ZERO, 1.0);
+        assert!((m - 0.3934).abs() < 1e-3, "mass = {m}");
+        // Huge circle holds everything.
+        assert!(g.mass_in_circle(Vec2::ZERO, 10.0) > 0.999);
+        // Zero radius holds nothing.
+        assert_eq!(g.mass_in_circle(Vec2::ZERO, 0.0), 0.0);
+    }
+
+    #[test]
+    fn mass_in_circle_offset_decreases_with_distance() {
+        let g = BivariateGaussian::isotropic(Vec2::ZERO, 1.0).unwrap();
+        let near = g.mass_in_circle(Vec2::new(1.0, 0.0), 1.0);
+        let far = g.mass_in_circle(Vec2::new(4.0, 0.0), 1.0);
+        assert!(near > far);
+        assert!(far < 0.01);
+    }
+
+    #[test]
+    fn inflation_grows_spread() {
+        let g = BivariateGaussian::isotropic(Vec2::ZERO, 1.0).unwrap();
+        let big = g.inflated(2.0).unwrap();
+        assert_eq!(big.sigma_x(), 2.0);
+        assert!(big.pdf(Vec2::ZERO) < g.pdf(Vec2::ZERO));
+    }
+
+    #[test]
+    fn bessel_i0_scaled_sanity() {
+        assert!((bessel_i0_scaled(0.0) - 1.0).abs() < 1e-9);
+        // I0(1) e^-1 ~ 1.2660658 * 0.367879 ~ 0.46576
+        assert!((bessel_i0_scaled(1.0) - 0.46576).abs() < 1e-4);
+        // I0(5) e^-5 ~ 27.2398 * 0.0067379 ~ 0.18354
+        assert!((bessel_i0_scaled(5.0) - 0.18354).abs() < 1e-4);
+        // Huge arguments stay finite (this is the overflow-regression test).
+        assert!(bessel_i0_scaled(5000.0).is_finite());
+    }
+
+    #[test]
+    fn mass_in_circle_far_offset_small_sigma_no_overflow() {
+        // Regression: sigma = 0.1, offset ~9.65, radius ~4.28 used to produce
+        // inf * 0 = NaN inside the radial integration.
+        let g = BivariateGaussian::isotropic(Vec2::ZERO, 0.1).unwrap();
+        let m = g.mass_in_circle(Vec2::new(9.654703989490544, 0.0), 4.284452108464636);
+        assert!((0.0..=1.0).contains(&m), "mass = {m}");
+    }
+}

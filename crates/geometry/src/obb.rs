@@ -1,0 +1,242 @@
+//! Oriented bounding boxes for vehicles, pedestrians, and buildings.
+//!
+//! The simulator uses OBBs for collision detection between vehicles (the
+//! *safe passage* metric), for LiDAR occlusion testing, and for synthesising
+//! per-object point clouds.
+
+use crate::{Pose2, Segment2, Vec2};
+
+/// A rectangle with arbitrary orientation on the road plane.
+///
+/// # Examples
+///
+/// ```
+/// use erpd_geometry::{Obb2, Pose2, Vec2};
+///
+/// // A 4.5 m x 1.8 m car at the origin facing +x.
+/// let car = Obb2::new(Pose2::identity(), 4.5, 1.8);
+/// assert!(car.contains(Vec2::new(2.0, 0.5)));
+/// assert!(!car.contains(Vec2::new(3.0, 0.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Obb2 {
+    /// Pose of the box centre.
+    pub pose: Pose2,
+    /// Full length along the heading direction, metres.
+    pub length: f64,
+    /// Full width perpendicular to the heading, metres.
+    pub width: f64,
+}
+
+impl Obb2 {
+    /// Creates an oriented box centred at `pose` with the given footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` or `width` is negative or non-finite.
+    pub fn new(pose: Pose2, length: f64, width: f64) -> Self {
+        assert!(
+            length.is_finite() && length >= 0.0 && width.is_finite() && width >= 0.0,
+            "invalid OBB extents"
+        );
+        Obb2 { pose, length, width }
+    }
+
+    /// The four corners in counter-clockwise order starting front-left.
+    pub fn corners(&self) -> [Vec2; 4] {
+        let hl = self.length / 2.0;
+        let hw = self.width / 2.0;
+        [
+            self.pose.to_world(Vec2::new(hl, hw)),
+            self.pose.to_world(Vec2::new(-hl, hw)),
+            self.pose.to_world(Vec2::new(-hl, -hw)),
+            self.pose.to_world(Vec2::new(hl, -hw)),
+        ]
+    }
+
+    /// The four edges as segments, counter-clockwise.
+    pub fn edges(&self) -> [Segment2; 4] {
+        let c = self.corners();
+        [
+            Segment2::new(c[0], c[1]),
+            Segment2::new(c[1], c[2]),
+            Segment2::new(c[2], c[3]),
+            Segment2::new(c[3], c[0]),
+        ]
+    }
+
+    /// True if the point lies inside or on the box.
+    pub fn contains(&self, p: Vec2) -> bool {
+        let local = self.pose.to_local(p);
+        local.x.abs() <= self.length / 2.0 + 1e-12 && local.y.abs() <= self.width / 2.0 + 1e-12
+    }
+
+    /// Separating-axis test against another box (boundary contact counts as
+    /// intersection).
+    pub fn intersects(&self, other: &Obb2) -> bool {
+        let axes = [
+            self.pose.forward(),
+            self.pose.left(),
+            other.pose.forward(),
+            other.pose.left(),
+        ];
+        let ca = self.corners();
+        let cb = other.corners();
+        for axis in axes {
+            let (mut amin, mut amax) = (f64::INFINITY, f64::NEG_INFINITY);
+            for p in ca {
+                let d = p.dot(axis);
+                amin = amin.min(d);
+                amax = amax.max(d);
+            }
+            let (mut bmin, mut bmax) = (f64::INFINITY, f64::NEG_INFINITY);
+            for p in cb {
+                let d = p.dot(axis);
+                bmin = bmin.min(d);
+                bmax = bmax.max(d);
+            }
+            if amax < bmin - 1e-12 || bmax < amin - 1e-12 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Minimum distance between the boundaries of two boxes
+    /// (0 when they intersect).
+    pub fn distance(&self, other: &Obb2) -> f64 {
+        if self.intersects(other) {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for ea in self.edges() {
+            for eb in other.edges() {
+                best = best.min(ea.distance_to_segment(&eb));
+            }
+        }
+        best
+    }
+
+    /// Distance from a point to the box (0 when the point is inside).
+    pub fn distance_to_point(&self, p: Vec2) -> f64 {
+        let local = self.pose.to_local(p);
+        let dx = (local.x.abs() - self.length / 2.0).max(0.0);
+        let dy = (local.y.abs() - self.width / 2.0).max(0.0);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// True if the segment crosses or touches the box.
+    pub fn intersects_segment(&self, seg: &Segment2) -> bool {
+        if self.contains(seg.a) || self.contains(seg.b) {
+            return true;
+        }
+        self.edges().iter().any(|e| e.intersect(seg).is_some())
+    }
+
+    /// Radius of the circumscribed circle.
+    #[inline]
+    pub fn circumradius(&self) -> f64 {
+        (self.length * self.length + self.width * self.width).sqrt() / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_4;
+
+    fn car_at(x: f64, y: f64, heading: f64) -> Obb2 {
+        Obb2::new(Pose2::new(Vec2::new(x, y), heading), 4.5, 1.8)
+    }
+
+    #[test]
+    fn corners_of_axis_aligned_box() {
+        let b = Obb2::new(Pose2::identity(), 4.0, 2.0);
+        let c = b.corners();
+        assert_eq!(c[0], Vec2::new(2.0, 1.0));
+        assert_eq!(c[1], Vec2::new(-2.0, 1.0));
+        assert_eq!(c[2], Vec2::new(-2.0, -1.0));
+        assert_eq!(c[3], Vec2::new(2.0, -1.0));
+    }
+
+    #[test]
+    fn containment_respects_rotation() {
+        let b = Obb2::new(Pose2::new(Vec2::ZERO, FRAC_PI_4), 4.0, 0.5);
+        // The tip of the box is along the 45-degree diagonal.
+        let tip = Vec2::from_angle(FRAC_PI_4) * 1.9;
+        assert!(b.contains(tip));
+        // The same distance along +x is outside the (narrow) box.
+        assert!(!b.contains(Vec2::new(1.9, 0.0)));
+    }
+
+    #[test]
+    fn separated_boxes_do_not_intersect() {
+        assert!(!car_at(0.0, 0.0, 0.0).intersects(&car_at(10.0, 0.0, 0.0)));
+        assert!(!car_at(0.0, 0.0, 0.0).intersects(&car_at(0.0, 3.0, 0.0)));
+    }
+
+    #[test]
+    fn overlapping_boxes_intersect() {
+        assert!(car_at(0.0, 0.0, 0.0).intersects(&car_at(3.0, 0.0, 0.0)));
+        // Rotated overlap (the classic SAT case that AABBs would miss).
+        assert!(car_at(0.0, 0.0, 0.0).intersects(&car_at(3.0, 1.5, FRAC_PI_4)));
+    }
+
+    #[test]
+    fn rotated_near_miss_requires_sat() {
+        // An axis-aligned box and a diamond whose AABBs overlap (the
+        // diamond's AABB reaches x = y = 0.69) but the boxes do not: the
+        // diamond's diagonal axis separates them.
+        let a = Obb2::new(Pose2::identity(), 2.0, 2.0);
+        let b = Obb2::new(Pose2::new(Vec2::new(2.1, 2.1), FRAC_PI_4), 2.0, 2.0);
+        assert!(!a.intersects(&b));
+        assert!(a.distance(&b) > 0.0);
+    }
+
+    #[test]
+    fn distance_between_boxes() {
+        let a = car_at(0.0, 0.0, 0.0);
+        let b = car_at(10.0, 0.0, 0.0);
+        // Gap = 10 - 4.5 (two half-lengths of 2.25 each).
+        assert!((a.distance(&b) - 5.5).abs() < 1e-9);
+        assert_eq!(a.distance(&car_at(1.0, 0.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn point_distance() {
+        let b = Obb2::new(Pose2::identity(), 4.0, 2.0);
+        assert_eq!(b.distance_to_point(Vec2::ZERO), 0.0);
+        assert_eq!(b.distance_to_point(Vec2::new(2.0, 1.0)), 0.0); // corner
+        assert!((b.distance_to_point(Vec2::new(5.0, 0.0)) - 3.0).abs() < 1e-12);
+        assert!((b.distance_to_point(Vec2::new(0.0, 4.0)) - 3.0).abs() < 1e-12);
+        // Diagonal from the corner.
+        let d = b.distance_to_point(Vec2::new(5.0, 4.0));
+        assert!((d - (9.0f64 + 9.0).sqrt()).abs() < 1e-12);
+        // Rotation-aware.
+        let r = Obb2::new(Pose2::new(Vec2::ZERO, FRAC_PI_4), 4.0, 2.0);
+        assert_eq!(r.distance_to_point(Vec2::from_angle(FRAC_PI_4) * 1.9), 0.0);
+    }
+
+    #[test]
+    fn segment_intersection() {
+        let b = Obb2::new(Pose2::identity(), 4.0, 2.0);
+        // Crossing ray.
+        assert!(b.intersects_segment(&Segment2::new(Vec2::new(-5.0, 0.0), Vec2::new(5.0, 0.0))));
+        // Ray ending inside.
+        assert!(b.intersects_segment(&Segment2::new(Vec2::new(-5.0, 0.0), Vec2::new(0.0, 0.0))));
+        // Ray passing above.
+        assert!(!b.intersects_segment(&Segment2::new(Vec2::new(-5.0, 2.0), Vec2::new(5.0, 2.0))));
+    }
+
+    #[test]
+    fn circumradius() {
+        let b = Obb2::new(Pose2::identity(), 6.0, 8.0);
+        assert!((b.circumradius() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid OBB extents")]
+    fn negative_extent_panics() {
+        let _ = Obb2::new(Pose2::identity(), -1.0, 2.0);
+    }
+}

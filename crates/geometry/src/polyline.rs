@@ -1,0 +1,339 @@
+//! Polylines with arc-length parameterisation.
+//!
+//! Predicted trajectories are represented as timed polylines downstream; the
+//! purely spatial machinery (length, interpolation, crossings with other
+//! polylines and with circles) lives here.
+
+use crate::{Circle, Segment2, Vec2};
+
+/// A polyline through two or more vertices, with cached cumulative
+/// arc-lengths for O(log n) interpolation.
+///
+/// # Examples
+///
+/// ```
+/// use erpd_geometry::{Polyline2, Vec2};
+///
+/// let p = Polyline2::new(vec![
+///     Vec2::new(0.0, 0.0),
+///     Vec2::new(10.0, 0.0),
+///     Vec2::new(10.0, 10.0),
+/// ]).unwrap();
+/// assert_eq!(p.length(), 20.0);
+/// assert_eq!(p.point_at(15.0), Vec2::new(10.0, 5.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polyline2 {
+    points: Vec<Vec2>,
+    cumulative: Vec<f64>,
+}
+
+/// A crossing between two polylines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolylineCrossing {
+    /// The crossing point.
+    pub point: Vec2,
+    /// Arc-length along the first polyline at the crossing.
+    pub s_self: f64,
+    /// Arc-length along the second polyline at the crossing.
+    pub s_other: f64,
+}
+
+impl Polyline2 {
+    /// Builds a polyline; returns `None` if fewer than two points are given
+    /// or any point is non-finite.
+    pub fn new(points: Vec<Vec2>) -> Option<Self> {
+        if points.len() < 2 || points.iter().any(|p| !p.is_finite()) {
+            return None;
+        }
+        let mut cumulative = Vec::with_capacity(points.len());
+        let mut acc = 0.0;
+        cumulative.push(0.0);
+        for w in points.windows(2) {
+            acc += w[0].distance(w[1]);
+            cumulative.push(acc);
+        }
+        Some(Polyline2 { points, cumulative })
+    }
+
+    /// The vertices of the polyline.
+    #[inline]
+    pub fn points(&self) -> &[Vec2] {
+        &self.points
+    }
+
+    /// Total arc length.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        *self.cumulative.last().expect("polyline has >= 2 points")
+    }
+
+    /// Iterates over the constituent segments.
+    pub fn segments(&self) -> impl Iterator<Item = Segment2> + '_ {
+        self.points.windows(2).map(|w| Segment2::new(w[0], w[1]))
+    }
+
+    /// Point at arc length `s`, clamped to `[0, length]`.
+    pub fn point_at(&self, s: f64) -> Vec2 {
+        let s = s.clamp(0.0, self.length());
+        let idx = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&s).expect("finite arc lengths"))
+        {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        if idx + 1 >= self.points.len() {
+            return *self.points.last().expect("non-empty");
+        }
+        let seg_len = self.cumulative[idx + 1] - self.cumulative[idx];
+        if seg_len <= f64::EPSILON {
+            return self.points[idx];
+        }
+        let t = (s - self.cumulative[idx]) / seg_len;
+        self.points[idx].lerp(self.points[idx + 1], t)
+    }
+
+    /// Heading (radians) of the polyline at arc length `s`.
+    pub fn heading_at(&self, s: f64) -> f64 {
+        let s = s.clamp(0.0, self.length());
+        let idx = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&s).expect("finite arc lengths"))
+        {
+            Ok(i) => i.min(self.points.len() - 2),
+            Err(i) => (i - 1).min(self.points.len() - 2),
+        };
+        (self.points[idx + 1] - self.points[idx]).angle()
+    }
+
+    /// All crossings with another polyline, ordered by `s_self`.
+    pub fn crossings(&self, other: &Polyline2) -> Vec<PolylineCrossing> {
+        let mut out = Vec::new();
+        for (i, sa) in self.segments().enumerate() {
+            for (j, sb) in other.segments().enumerate() {
+                if let Some(hit) = sa.intersect(&sb) {
+                    out.push(PolylineCrossing {
+                        point: hit.point,
+                        s_self: self.cumulative[i] + hit.t_self * sa.length(),
+                        s_other: other.cumulative[j] + hit.t_other * sb.length(),
+                    });
+                }
+            }
+        }
+        out.sort_by(|a, b| a.s_self.partial_cmp(&b.s_self).expect("finite"));
+        out
+    }
+
+    /// The first crossing with another polyline (smallest `s_self`), if any.
+    pub fn first_crossing(&self, other: &Polyline2) -> Option<PolylineCrossing> {
+        self.crossings(other).into_iter().next()
+    }
+
+    /// Arc-length intervals `(s_enter, s_exit)` during which the polyline is
+    /// inside the given circle, merged across segment boundaries and ordered
+    /// by `s_enter`.
+    pub fn circle_intervals(&self, circle: &Circle) -> Vec<(f64, f64)> {
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (i, seg) in self.segments().enumerate() {
+            let seg_len = seg.length();
+            if let Some((t0, t1)) = circle.segment_inside(&seg) {
+                let s0 = self.cumulative[i] + t0 * seg_len;
+                let s1 = self.cumulative[i] + t1 * seg_len;
+                match out.last_mut() {
+                    // Contiguous with the previous segment's interval: merge.
+                    Some(last) if s0 <= last.1 + 1e-9 => last.1 = last.1.max(s1),
+                    _ => out.push((s0, s1)),
+                }
+            }
+        }
+        out.retain(|(s0, s1)| s1 - s0 > 1e-12);
+        out
+    }
+
+    /// Closest distance from the polyline to a point.
+    pub fn distance_to_point(&self, p: Vec2) -> f64 {
+        self.segments()
+            .map(|s| s.distance_to_point(p))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The sub-polyline between arc lengths `s0` and `s1` (clamped to the
+    /// polyline; `s0 < s1` required). Returns `None` when the clamped range
+    /// is degenerate.
+    pub fn slice(&self, s0: f64, s1: f64) -> Option<Polyline2> {
+        let len = self.length();
+        let s0 = s0.clamp(0.0, len);
+        let s1 = s1.clamp(0.0, len);
+        if s1 - s0 <= 1e-9 {
+            return None;
+        }
+        let mut pts = vec![self.point_at(s0)];
+        for (i, &c) in self.cumulative.iter().enumerate() {
+            if c > s0 + 1e-9 && c < s1 - 1e-9 {
+                pts.push(self.points[i]);
+            }
+        }
+        pts.push(self.point_at(s1));
+        pts.dedup_by(|a, b| a.distance(*b) < 1e-9);
+        Polyline2::new(pts)
+    }
+
+    /// Projects a point onto the polyline: returns `(s, distance)` where `s`
+    /// is the arc length of the closest point and `distance` the lateral
+    /// offset.
+    pub fn project(&self, p: Vec2) -> (f64, f64) {
+        let mut best_s = 0.0;
+        let mut best_d = f64::INFINITY;
+        for (i, seg) in self.segments().enumerate() {
+            let t = seg.closest_t(p);
+            let q = seg.point_at(t);
+            let d = q.distance(p);
+            if d < best_d {
+                best_d = d;
+                best_s = self.cumulative[i] + t * seg.length();
+            }
+        }
+        (best_s, best_d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_shape() -> Polyline2 {
+        Polyline2::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(10.0, 0.0),
+            Vec2::new(10.0, 10.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_rules() {
+        assert!(Polyline2::new(vec![]).is_none());
+        assert!(Polyline2::new(vec![Vec2::ZERO]).is_none());
+        assert!(Polyline2::new(vec![Vec2::ZERO, Vec2::new(f64::NAN, 0.0)]).is_none());
+        assert!(Polyline2::new(vec![Vec2::ZERO, Vec2::UNIT_X]).is_some());
+    }
+
+    #[test]
+    fn length_and_interpolation() {
+        let p = l_shape();
+        assert_eq!(p.length(), 20.0);
+        assert_eq!(p.point_at(0.0), Vec2::ZERO);
+        assert_eq!(p.point_at(5.0), Vec2::new(5.0, 0.0));
+        assert_eq!(p.point_at(10.0), Vec2::new(10.0, 0.0));
+        assert_eq!(p.point_at(15.0), Vec2::new(10.0, 5.0));
+        assert_eq!(p.point_at(20.0), Vec2::new(10.0, 10.0));
+        // Clamping
+        assert_eq!(p.point_at(-5.0), Vec2::ZERO);
+        assert_eq!(p.point_at(99.0), Vec2::new(10.0, 10.0));
+    }
+
+    #[test]
+    fn heading_changes_at_corner() {
+        let p = l_shape();
+        assert!(p.heading_at(5.0).abs() < 1e-12);
+        assert!((p.heading_at(15.0) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_two_straight_paths() {
+        let ew = Polyline2::new(vec![Vec2::new(-10.0, 0.0), Vec2::new(10.0, 0.0)]).unwrap();
+        let ns = Polyline2::new(vec![Vec2::new(0.0, -10.0), Vec2::new(0.0, 10.0)]).unwrap();
+        let hit = ew.first_crossing(&ns).unwrap();
+        assert!((hit.point - Vec2::ZERO).norm() < 1e-12);
+        assert!((hit.s_self - 10.0).abs() < 1e-12);
+        assert!((hit.s_other - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiple_crossings_sorted() {
+        // A zig-zag crossing the x-axis twice.
+        let zig = Polyline2::new(vec![
+            Vec2::new(0.0, -1.0),
+            Vec2::new(2.0, 1.0),
+            Vec2::new(4.0, -1.0),
+        ])
+        .unwrap();
+        let axis = Polyline2::new(vec![Vec2::new(-5.0, 0.0), Vec2::new(10.0, 0.0)]).unwrap();
+        let hits = zig.crossings(&axis);
+        assert_eq!(hits.len(), 2);
+        assert!(hits[0].s_self < hits[1].s_self);
+    }
+
+    #[test]
+    fn no_crossing_for_parallel_paths() {
+        let a = Polyline2::new(vec![Vec2::new(0.0, 0.0), Vec2::new(10.0, 0.0)]).unwrap();
+        let b = Polyline2::new(vec![Vec2::new(0.0, 3.0), Vec2::new(10.0, 3.0)]).unwrap();
+        assert!(a.first_crossing(&b).is_none());
+    }
+
+    #[test]
+    fn circle_interval_straight_pass() {
+        let p = Polyline2::new(vec![Vec2::new(-10.0, 0.0), Vec2::new(10.0, 0.0)]).unwrap();
+        let c = Circle::new(Vec2::ZERO, 2.0);
+        let iv = p.circle_intervals(&c);
+        assert_eq!(iv.len(), 1);
+        let (s0, s1) = iv[0];
+        assert!((s0 - 8.0).abs() < 1e-9);
+        assert!((s1 - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circle_interval_starting_inside() {
+        let p = Polyline2::new(vec![Vec2::new(0.0, 0.0), Vec2::new(10.0, 0.0)]).unwrap();
+        let c = Circle::new(Vec2::ZERO, 3.0);
+        let iv = p.circle_intervals(&c);
+        assert_eq!(iv.len(), 1);
+        assert!(iv[0].0.abs() < 1e-9);
+        assert!((iv[0].1 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circle_interval_missing_circle() {
+        let p = Polyline2::new(vec![Vec2::new(-10.0, 5.0), Vec2::new(10.0, 5.0)]).unwrap();
+        let c = Circle::new(Vec2::ZERO, 2.0);
+        assert!(p.circle_intervals(&c).is_empty());
+    }
+
+    #[test]
+    fn distance_to_point() {
+        let p = l_shape();
+        assert_eq!(p.distance_to_point(Vec2::new(5.0, 3.0)), 3.0);
+        assert_eq!(p.distance_to_point(Vec2::new(10.0, 10.0)), 0.0);
+    }
+
+    #[test]
+    fn slice_extracts_subpath() {
+        let p = l_shape();
+        let s = p.slice(5.0, 15.0).unwrap();
+        assert!((s.length() - 10.0).abs() < 1e-9);
+        assert_eq!(s.points()[0], Vec2::new(5.0, 0.0));
+        assert_eq!(*s.points().last().unwrap(), Vec2::new(10.0, 5.0));
+        // Interior vertex (the corner) is preserved.
+        assert!(s.points().contains(&Vec2::new(10.0, 0.0)));
+        // Clamping and degenerate ranges.
+        assert!((p.slice(-5.0, 100.0).unwrap().length() - 20.0).abs() < 1e-9);
+        assert!(p.slice(5.0, 5.0).is_none());
+        assert!(p.slice(25.0, 30.0).is_none());
+    }
+
+    #[test]
+    fn projection_finds_arclength_and_offset() {
+        let p = l_shape();
+        let (s, d) = p.project(Vec2::new(5.0, -2.0));
+        assert!((s - 5.0).abs() < 1e-9);
+        assert!((d - 2.0).abs() < 1e-9);
+        // On the second leg.
+        let (s, d) = p.project(Vec2::new(12.0, 5.0));
+        assert!((s - 15.0).abs() < 1e-9);
+        assert!((d - 2.0).abs() < 1e-9);
+        // Beyond the end clamps to the final vertex.
+        let (s, _) = p.project(Vec2::new(10.0, 99.0));
+        assert!((s - 20.0).abs() < 1e-9);
+    }
+}

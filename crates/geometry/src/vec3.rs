@@ -1,0 +1,294 @@
+//! Three-dimensional vectors, used for LiDAR points and world coordinates.
+
+use crate::Vec2;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 3-D vector (or point) with `f64` components, in metres.
+///
+/// The LiDAR frame follows the usual vehicle convention: +x forward,
+/// +y left, +z up, origin at the sensor.
+///
+/// # Examples
+///
+/// ```
+/// use erpd_geometry::Vec3;
+///
+/// let p = Vec3::new(1.0, 2.0, 2.0);
+/// assert_eq!(p.norm(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component (up).
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Lifts a planar point to 3-D at height `z`.
+    #[inline]
+    pub const fn from_xy(xy: Vec2, z: f64) -> Self {
+        Vec3 { x: xy.x, y: xy.y, z }
+    }
+
+    /// Drops the z component, projecting onto the road plane.
+    #[inline]
+    pub const fn xy(self) -> Vec2 {
+        Vec2 { x: self.x, y: self.y }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, other: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean length.
+    #[inline]
+    pub fn norm_squared(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Distance to another point.
+    #[inline]
+    pub fn distance(self, other: Vec3) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Returns the vector scaled to unit length, or `None` for (near-)zero
+    /// vectors.
+    #[inline]
+    pub fn try_normalize(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n <= f64::EPSILON {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// True if every component is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3}, {:.3})", self.x, self.y, self.z)
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+impl MulAssign<f64> for Vec3 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl DivAssign<f64> for Vec3 {
+    #[inline]
+    fn div_assign(&mut self, rhs: f64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Sum for Vec3 {
+    fn sum<I: Iterator<Item = Vec3>>(iter: I) -> Vec3 {
+        iter.fold(Vec3::ZERO, Add::add)
+    }
+}
+
+impl From<(f64, f64, f64)> for Vec3 {
+    #[inline]
+    fn from((x, y, z): (f64, f64, f64)) -> Self {
+        Vec3::new(x, y, z)
+    }
+}
+
+impl From<[f64; 3]> for Vec3 {
+    #[inline]
+    fn from([x, y, z]: [f64; 3]) -> Self {
+        Vec3::new(x, y, z)
+    }
+}
+
+impl From<Vec3> for [f64; 3] {
+    #[inline]
+    fn from(v: Vec3) -> Self {
+        [v.x, v.y, v.z]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn compound_assignment() {
+        let mut v = Vec3::new(1.0, 1.0, 1.0);
+        v += Vec3::new(1.0, 0.0, 0.0);
+        v -= Vec3::new(0.0, 1.0, 0.0);
+        v *= 2.0;
+        v /= 4.0;
+        assert_eq!(v, Vec3::new(1.0, 0.0, 0.5));
+    }
+
+    #[test]
+    fn cross_follows_right_hand_rule() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(x.cross(y), Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(y.cross(x), Vec3::new(0.0, 0.0, -1.0));
+    }
+
+    #[test]
+    fn norms() {
+        let v = Vec3::new(1.0, 2.0, 2.0);
+        assert_eq!(v.norm(), 3.0);
+        assert_eq!(v.norm_squared(), 9.0);
+        assert_eq!(v.distance(Vec3::ZERO), 3.0);
+    }
+
+    #[test]
+    fn normalize() {
+        let v = Vec3::new(0.0, 3.0, 4.0).try_normalize().unwrap();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+        assert!(Vec3::ZERO.try_normalize().is_none());
+    }
+
+    #[test]
+    fn planar_projection_round_trip() {
+        let p = Vec3::new(1.5, -2.5, 0.7);
+        assert_eq!(p.xy(), Vec2::new(1.5, -2.5));
+        assert_eq!(Vec3::from_xy(p.xy(), 0.7), p);
+    }
+
+    #[test]
+    fn conversions() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(Vec3::from((1.0, 2.0, 3.0)), v);
+        assert_eq!(Vec3::from([1.0, 2.0, 3.0]), v);
+        let a: [f64; 3] = v.into();
+        assert_eq!(a, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn sum_of_vectors() {
+        let s: Vec3 = [Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 3.0)]
+            .into_iter()
+            .sum();
+        assert_eq!(s, Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Vec3::new(1.0, 2.0, 3.0).is_finite());
+        assert!(!Vec3::new(f64::NAN, 0.0, 0.0).is_finite());
+        assert!(!Vec3::new(0.0, f64::INFINITY, 0.0).is_finite());
+    }
+}

@@ -1,0 +1,269 @@
+//! Point-cloud container and wire-size accounting.
+
+use erpd_geometry::{Transform3, Vec3};
+use std::fmt;
+
+/// Bytes per point on the wire: three `f32` coordinates plus one `f32`
+/// intensity, matching common uncompressed LiDAR interchange formats.
+pub const POINT_WIRE_BYTES: usize = 16;
+
+/// An unordered collection of LiDAR points.
+///
+/// The frame (sensor-local vs world) is a convention of the surrounding
+/// code: vehicles produce sensor-frame clouds, the edge server transforms
+/// them with [`PointCloud::transformed`] before merging.
+///
+/// # Examples
+///
+/// ```
+/// use erpd_pointcloud::PointCloud;
+/// use erpd_geometry::Vec3;
+///
+/// let cloud: PointCloud = [Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0)]
+///     .into_iter()
+///     .collect();
+/// assert_eq!(cloud.len(), 2);
+/// assert_eq!(cloud.wire_size_bytes(), 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PointCloud {
+    points: Vec<Vec3>,
+}
+
+impl PointCloud {
+    /// Creates an empty cloud.
+    #[inline]
+    pub fn new() -> Self {
+        PointCloud { points: Vec::new() }
+    }
+
+    /// Creates an empty cloud with reserved capacity.
+    #[inline]
+    pub fn with_capacity(capacity: usize) -> Self {
+        PointCloud {
+            points: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Wraps an existing vector of points.
+    #[inline]
+    pub fn from_points(points: Vec<Vec3>) -> Self {
+        PointCloud { points }
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the cloud holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Read-only view of the points.
+    #[inline]
+    pub fn points(&self) -> &[Vec3] {
+        &self.points
+    }
+
+    /// Adds a point.
+    #[inline]
+    pub fn push(&mut self, p: Vec3) {
+        self.points.push(p);
+    }
+
+    /// Iterates over the points.
+    pub fn iter(&self) -> std::slice::Iter<'_, Vec3> {
+        self.points.iter()
+    }
+
+    /// Consumes the cloud, returning the underlying vector.
+    #[inline]
+    pub fn into_points(self) -> Vec<Vec3> {
+        self.points
+    }
+
+    /// Size of the cloud when transmitted uncompressed, in bytes.
+    #[inline]
+    pub fn wire_size_bytes(&self) -> usize {
+        self.points.len() * POINT_WIRE_BYTES
+    }
+
+    /// Centroid of the cloud, or `None` when empty.
+    pub fn centroid(&self) -> Option<Vec3> {
+        if self.points.is_empty() {
+            return None;
+        }
+        Some(self.points.iter().copied().sum::<Vec3>() / self.points.len() as f64)
+    }
+
+    /// Axis-aligned bounds `(min, max)`, or `None` when empty.
+    pub fn bounds(&self) -> Option<(Vec3, Vec3)> {
+        let first = *self.points.first()?;
+        let mut min = first;
+        let mut max = first;
+        for p in &self.points[1..] {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            min.z = min.z.min(p.z);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+            max.z = max.z.max(p.z);
+        }
+        Some((min, max))
+    }
+
+    /// Returns a copy with every point mapped through the rigid transform —
+    /// the per-cloud application of the paper's `T_lw` matrix.
+    pub fn transformed(&self, t: &Transform3) -> PointCloud {
+        PointCloud {
+            points: self.points.iter().map(|p| t.apply(*p)).collect(),
+        }
+    }
+
+    /// Keeps only points satisfying the predicate.
+    pub fn retain<F: FnMut(&Vec3) -> bool>(&mut self, f: F) {
+        self.points.retain(f);
+    }
+
+    /// Returns a new cloud with the points satisfying the predicate.
+    pub fn filtered<F: FnMut(&Vec3) -> bool>(&self, mut f: F) -> PointCloud {
+        PointCloud {
+            points: self.points.iter().copied().filter(|p| f(p)).collect(),
+        }
+    }
+
+    /// Appends all points from another cloud.
+    pub fn merge_from(&mut self, other: &PointCloud) {
+        self.points.extend_from_slice(&other.points);
+    }
+}
+
+impl fmt::Display for PointCloud {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PointCloud({} points)", self.points.len())
+    }
+}
+
+impl FromIterator<Vec3> for PointCloud {
+    fn from_iter<T: IntoIterator<Item = Vec3>>(iter: T) -> Self {
+        PointCloud {
+            points: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Vec3> for PointCloud {
+    fn extend<T: IntoIterator<Item = Vec3>>(&mut self, iter: T) {
+        self.points.extend(iter);
+    }
+}
+
+impl IntoIterator for PointCloud {
+    type Item = Vec3;
+    type IntoIter = std::vec::IntoIter<Vec3>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a PointCloud {
+    type Item = &'a Vec3;
+    type IntoIter = std::slice::Iter<'a, Vec3>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
+impl From<Vec<Vec3>> for PointCloud {
+    fn from(points: Vec<Vec3>) -> Self {
+        PointCloud { points }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erpd_geometry::Vec2;
+
+    #[test]
+    fn empty_cloud() {
+        let c = PointCloud::new();
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.wire_size_bytes(), 0);
+        assert!(c.centroid().is_none());
+        assert!(c.bounds().is_none());
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut c = PointCloud::with_capacity(4);
+        c.push(Vec3::new(1.0, 2.0, 3.0));
+        c.push(Vec3::ZERO);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.wire_size_bytes(), 2 * POINT_WIRE_BYTES);
+    }
+
+    #[test]
+    fn centroid_and_bounds() {
+        let c = PointCloud::from_points(vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(2.0, 4.0, 6.0),
+        ]);
+        assert_eq!(c.centroid().unwrap(), Vec3::new(1.0, 2.0, 3.0));
+        let (min, max) = c.bounds().unwrap();
+        assert_eq!(min, Vec3::ZERO);
+        assert_eq!(max, Vec3::new(2.0, 4.0, 6.0));
+    }
+
+    #[test]
+    fn transform_moves_points() {
+        let c = PointCloud::from_points(vec![Vec3::new(1.0, 0.0, 0.0)]);
+        let t = Transform3::lidar_to_world(Vec2::new(10.0, 0.0), 0.0, 2.0);
+        let w = c.transformed(&t);
+        assert!((w.points()[0] - Vec3::new(11.0, 0.0, 2.0)).norm() < 1e-12);
+        // Original is untouched.
+        assert_eq!(c.points()[0], Vec3::new(1.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn filtering() {
+        let mut c = PointCloud::from_points(vec![
+            Vec3::new(0.0, 0.0, -1.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(0.0, 0.0, 2.0),
+        ]);
+        let above = c.filtered(|p| p.z > 0.0);
+        assert_eq!(above.len(), 2);
+        c.retain(|p| p.z > 1.5);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn collect_extend_merge() {
+        let mut c: PointCloud = (0..3).map(|i| Vec3::new(i as f64, 0.0, 0.0)).collect();
+        c.extend([Vec3::new(9.0, 0.0, 0.0)]);
+        let d = PointCloud::from_points(vec![Vec3::ZERO]);
+        c.merge_from(&d);
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn iteration() {
+        let c = PointCloud::from_points(vec![Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0)]);
+        assert_eq!(c.iter().count(), 2);
+        assert_eq!((&c).into_iter().count(), 2);
+        assert_eq!(c.clone().into_iter().count(), 2);
+        assert_eq!(c.into_points().len(), 2);
+    }
+
+    #[test]
+    fn display_mentions_count() {
+        let c = PointCloud::from_points(vec![Vec3::ZERO]);
+        assert!(format!("{c}").contains('1'));
+    }
+}

@@ -1,0 +1,292 @@
+//! DBSCAN density-based clustering (Ester et al., KDD'96).
+//!
+//! Used in two places, exactly as in the paper:
+//! * on-vehicle, to segment the ground-free point cloud into objects for
+//!   moving-object extraction (§II-B), and
+//! * as the *baseline* pedestrian clustering that the crowd-clustering
+//!   algorithm of §II-D improves upon (Fig. 4).
+//!
+//! The implementation hashes points into an `eps`-sized grid so neighbour
+//! queries touch at most nine cells, giving near-linear behaviour on the
+//! sparse clouds that vehicles produce.
+
+use erpd_geometry::Vec2;
+use std::collections::HashMap;
+
+/// DBSCAN parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbscanParams {
+    /// Neighbourhood radius, metres.
+    pub eps: f64,
+    /// Minimum neighbourhood size (including the point itself) for a core
+    /// point.
+    pub min_points: usize,
+}
+
+impl DbscanParams {
+    /// Creates a parameter set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is not strictly positive and finite, or
+    /// `min_points == 0`.
+    pub fn new(eps: f64, min_points: usize) -> Self {
+        assert!(eps.is_finite() && eps > 0.0, "invalid DBSCAN eps");
+        assert!(min_points > 0, "min_points must be positive");
+        DbscanParams { eps, min_points }
+    }
+}
+
+impl Default for DbscanParams {
+    /// `eps = 1.0 m`, `min_points = 4`: reasonable for vehicle-scale LiDAR
+    /// clusters.
+    fn default() -> Self {
+        DbscanParams::new(1.0, 4)
+    }
+}
+
+/// Result of a DBSCAN run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbscanResult {
+    labels: Vec<Option<usize>>,
+    n_clusters: usize,
+}
+
+impl DbscanResult {
+    /// Cluster label per input point; `None` marks noise.
+    #[inline]
+    pub fn labels(&self) -> &[Option<usize>] {
+        &self.labels
+    }
+
+    /// Number of clusters found.
+    #[inline]
+    pub fn n_clusters(&self) -> usize {
+        self.n_clusters
+    }
+
+    /// Indices of the points in each cluster.
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.n_clusters];
+        for (i, l) in self.labels.iter().enumerate() {
+            if let Some(c) = l {
+                out[*c].push(i);
+            }
+        }
+        out
+    }
+
+    /// Indices of noise points.
+    pub fn noise(&self) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.is_none().then_some(i))
+            .collect()
+    }
+}
+
+/// Spatial hash grid with cell size `eps` for radius queries.
+struct Grid {
+    cells: HashMap<(i64, i64), Vec<usize>>,
+    eps: f64,
+}
+
+impl Grid {
+    fn build(points: &[Vec2], eps: f64) -> Self {
+        let mut cells: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            cells.entry(Self::key(*p, eps)).or_default().push(i);
+        }
+        Grid { cells, eps }
+    }
+
+    fn key(p: Vec2, eps: f64) -> (i64, i64) {
+        ((p.x / eps).floor() as i64, (p.y / eps).floor() as i64)
+    }
+
+    fn neighbors(&self, points: &[Vec2], idx: usize, out: &mut Vec<usize>) {
+        out.clear();
+        let p = points[idx];
+        let (cx, cy) = Self::key(p, self.eps);
+        let eps2 = self.eps * self.eps;
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(bucket) = self.cells.get(&(cx + dx, cy + dy)) {
+                    for &j in bucket {
+                        if points[j].distance_squared(p) <= eps2 {
+                            out.push(j);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs DBSCAN on planar points.
+///
+/// # Examples
+///
+/// ```
+/// use erpd_pointcloud::{dbscan, DbscanParams};
+/// use erpd_geometry::Vec2;
+///
+/// let mut pts = Vec::new();
+/// for i in 0..5 {
+///     pts.push(Vec2::new(i as f64 * 0.1, 0.0));       // cluster A
+///     pts.push(Vec2::new(100.0 + i as f64 * 0.1, 0.0)); // cluster B
+/// }
+/// let result = dbscan(&pts, DbscanParams::new(0.5, 3));
+/// assert_eq!(result.n_clusters(), 2);
+/// ```
+pub fn dbscan(points: &[Vec2], params: DbscanParams) -> DbscanResult {
+    const UNVISITED: usize = usize::MAX;
+    const NOISE: usize = usize::MAX - 1;
+
+    let grid = Grid::build(points, params.eps);
+    let mut labels = vec![UNVISITED; points.len()];
+    let mut n_clusters = 0usize;
+    let mut neighbors = Vec::new();
+    let mut frontier = Vec::new();
+
+    for i in 0..points.len() {
+        if labels[i] != UNVISITED {
+            continue;
+        }
+        grid.neighbors(points, i, &mut neighbors);
+        if neighbors.len() < params.min_points {
+            labels[i] = NOISE;
+            continue;
+        }
+        let cluster = n_clusters;
+        n_clusters += 1;
+        labels[i] = cluster;
+        frontier.clear();
+        frontier.extend(neighbors.iter().copied());
+        while let Some(j) = frontier.pop() {
+            if labels[j] == NOISE {
+                labels[j] = cluster; // border point reached from a core
+            }
+            if labels[j] != UNVISITED {
+                continue;
+            }
+            labels[j] = cluster;
+            grid.neighbors(points, j, &mut neighbors);
+            if neighbors.len() >= params.min_points {
+                frontier.extend(neighbors.iter().copied());
+            }
+        }
+    }
+
+    DbscanResult {
+        labels: labels
+            .into_iter()
+            .map(|l| if l == NOISE || l == UNVISITED { None } else { Some(l) })
+            .collect(),
+        n_clusters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: Vec2, n: usize, spread: f64) -> Vec<Vec2> {
+        // Deterministic ring-shaped blob.
+        (0..n)
+            .map(|i| {
+                let a = i as f64 / n as f64 * std::f64::consts::TAU;
+                center + Vec2::from_angle(a) * spread * (0.3 + 0.7 * ((i % 3) as f64 / 3.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_well_separated_blobs() {
+        let mut pts = blob(Vec2::ZERO, 12, 0.4);
+        pts.extend(blob(Vec2::new(50.0, 0.0), 12, 0.4));
+        let r = dbscan(&pts, DbscanParams::new(1.0, 3));
+        assert_eq!(r.n_clusters(), 2);
+        assert!(r.noise().is_empty());
+        // All points in the first blob share a label.
+        let l0 = r.labels()[0];
+        assert!(r.labels()[..12].iter().all(|l| *l == l0));
+    }
+
+    #[test]
+    fn isolated_points_are_noise() {
+        let pts = vec![Vec2::ZERO, Vec2::new(100.0, 0.0), Vec2::new(0.0, 100.0)];
+        let r = dbscan(&pts, DbscanParams::new(1.0, 2));
+        assert_eq!(r.n_clusters(), 0);
+        assert_eq!(r.noise().len(), 3);
+    }
+
+    #[test]
+    fn chain_connectivity() {
+        // A chain of points each within eps of the next forms one cluster.
+        let pts: Vec<Vec2> = (0..20).map(|i| Vec2::new(i as f64 * 0.9, 0.0)).collect();
+        let r = dbscan(&pts, DbscanParams::new(1.0, 2));
+        assert_eq!(r.n_clusters(), 1);
+        assert_eq!(r.clusters()[0].len(), 20);
+    }
+
+    #[test]
+    fn border_points_join_cluster() {
+        // Dense core plus one reachable border point that is itself not core.
+        let mut pts = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(0.1, 0.0),
+            Vec2::new(0.0, 0.1),
+            Vec2::new(0.1, 0.1),
+        ];
+        pts.push(Vec2::new(0.9, 0.0)); // border: within eps of core, alone otherwise
+        let r = dbscan(&pts, DbscanParams::new(1.0, 4));
+        assert_eq!(r.n_clusters(), 1);
+        assert_eq!(r.labels()[4], r.labels()[0]);
+    }
+
+    #[test]
+    fn min_points_controls_density() {
+        let pts: Vec<Vec2> = (0..3).map(|i| Vec2::new(i as f64 * 0.1, 0.0)).collect();
+        assert_eq!(dbscan(&pts, DbscanParams::new(1.0, 3)).n_clusters(), 1);
+        assert_eq!(dbscan(&pts, DbscanParams::new(1.0, 4)).n_clusters(), 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = dbscan(&[], DbscanParams::default());
+        assert_eq!(r.n_clusters(), 0);
+        assert!(r.labels().is_empty());
+        assert!(r.clusters().is_empty());
+    }
+
+    #[test]
+    fn labels_align_with_input_order() {
+        let pts = vec![Vec2::new(0.0, 0.0), Vec2::new(50.0, 0.0), Vec2::new(0.1, 0.0)];
+        let r = dbscan(&pts, DbscanParams::new(1.0, 2));
+        assert_eq!(r.labels().len(), 3);
+        assert_eq!(r.labels()[0], r.labels()[2]);
+        assert!(r.labels()[1].is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DBSCAN eps")]
+    fn rejects_bad_eps() {
+        let _ = DbscanParams::new(0.0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_points must be positive")]
+    fn rejects_zero_min_points() {
+        let _ = DbscanParams::new(1.0, 0);
+    }
+
+    #[test]
+    fn grid_handles_negative_coordinates() {
+        let mut pts = blob(Vec2::new(-40.0, -40.0), 10, 0.3);
+        pts.extend(blob(Vec2::new(40.0, 40.0), 10, 0.3));
+        let r = dbscan(&pts, DbscanParams::new(1.0, 3));
+        assert_eq!(r.n_clusters(), 2);
+    }
+}

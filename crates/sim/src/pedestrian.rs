@@ -1,0 +1,122 @@
+//! Pedestrian agents walking along crosswalks.
+
+use erpd_geometry::{Obb2, Polyline2, Pose2, Vec2};
+
+/// A pedestrian walking along a fixed path at constant speed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PedestrianAgent {
+    /// Unique id within the world (shared id space with vehicles).
+    pub id: u64,
+    /// The walking path.
+    pub path: Polyline2,
+    /// Arc length along the path, metres.
+    pub s: f64,
+    /// Walking speed, m/s.
+    pub speed: f64,
+    /// Body footprint diameter, metres.
+    pub size: f64,
+    /// Body height (for LiDAR point synthesis), metres.
+    pub height: f64,
+    /// Set when hit by a vehicle.
+    pub collided: bool,
+}
+
+impl PedestrianAgent {
+    /// Creates a pedestrian at the start of `path` (or `start_s` metres in).
+    pub fn new(id: u64, path: Polyline2, start_s: f64, speed: f64) -> Self {
+        PedestrianAgent {
+            id,
+            path,
+            s: start_s,
+            speed,
+            size: 0.6,
+            height: 1.75,
+            collided: false,
+        }
+    }
+
+    /// Current pose.
+    pub fn pose(&self) -> Pose2 {
+        Pose2::new(self.path.point_at(self.s), self.path.heading_at(self.s))
+    }
+
+    /// Planar position.
+    pub fn position(&self) -> Vec2 {
+        self.path.point_at(self.s)
+    }
+
+    /// Velocity vector.
+    pub fn velocity(&self) -> Vec2 {
+        if self.finished() || self.collided {
+            Vec2::ZERO
+        } else {
+            Vec2::from_angle(self.path.heading_at(self.s)) * self.speed
+        }
+    }
+
+    /// Footprint for collision tests.
+    pub fn footprint(&self) -> Obb2 {
+        Obb2::new(self.pose(), self.size, self.size)
+    }
+
+    /// True when the walk is complete.
+    pub fn finished(&self) -> bool {
+        self.s >= self.path.length() - 1e-6
+    }
+
+    /// Advances the pedestrian by `dt` seconds.
+    pub fn step(&mut self, dt: f64) {
+        if self.collided {
+            return;
+        }
+        self.s = (self.s + self.speed * dt).min(self.path.length());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walker() -> PedestrianAgent {
+        let path = Polyline2::new(vec![Vec2::new(0.0, -10.0), Vec2::new(0.0, 10.0)]).unwrap();
+        PedestrianAgent::new(7, path, 0.0, 1.3)
+    }
+
+    #[test]
+    fn walks_along_path() {
+        let mut p = walker();
+        for _ in 0..50 {
+            p.step(0.1);
+        }
+        assert!((p.s - 6.5).abs() < 1e-9);
+        assert!((p.position() - Vec2::new(0.0, -3.5)).norm() < 1e-9);
+        assert!((p.velocity() - Vec2::new(0.0, 1.3)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn stops_at_path_end() {
+        let mut p = walker();
+        for _ in 0..300 {
+            p.step(0.1);
+        }
+        assert!(p.finished());
+        assert_eq!(p.velocity(), Vec2::ZERO);
+        assert!((p.position() - Vec2::new(0.0, 10.0)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn collided_pedestrian_freezes() {
+        let mut p = walker();
+        p.collided = true;
+        p.step(0.1);
+        assert_eq!(p.s, 0.0);
+        assert_eq!(p.velocity(), Vec2::ZERO);
+    }
+
+    #[test]
+    fn footprint_is_small() {
+        let p = walker();
+        assert!(p.footprint().contains(p.position()));
+        assert!(p.footprint().circumradius() < 0.5);
+    }
+}

@@ -1,0 +1,395 @@
+//! A constant-velocity Kalman filter for object state estimation.
+//!
+//! The gated nearest-neighbour [`crate::Tracker`] estimates velocity with a
+//! least-squares fit over a short window — robust and dependency-free, but
+//! noisy right after track birth. This module provides the classical
+//! alternative: a 4-state (position + velocity) Kalman filter per track,
+//! exposed through [`KalmanTracker`] with the same interface shape as
+//! [`crate::Tracker`] so callers can swap estimators.
+
+use crate::{Detection, ObjectId, ObjectKind};
+use erpd_geometry::Vec2;
+
+/// State estimate of one Kalman track.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KalmanState {
+    /// Estimated position.
+    pub position: Vec2,
+    /// Estimated velocity.
+    pub velocity: Vec2,
+    /// Positional variance (per axis; the filter keeps x and y decoupled).
+    pub position_var: f64,
+    /// Velocity variance.
+    pub velocity_var: f64,
+    /// Position–velocity covariance.
+    pub cross_var: f64,
+}
+
+/// One tracked object with its filter state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KalmanTrack {
+    id: ObjectId,
+    kind: ObjectKind,
+    state: KalmanState,
+    last_update: f64,
+    misses: usize,
+    updates: usize,
+}
+
+impl KalmanTrack {
+    /// The track's identity.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// The tracked object's kind.
+    pub fn kind(&self) -> ObjectKind {
+        self.kind
+    }
+
+    /// Current state estimate.
+    pub fn state(&self) -> KalmanState {
+        self.state
+    }
+
+    /// Estimated position.
+    pub fn position(&self) -> Vec2 {
+        self.state.position
+    }
+
+    /// Estimated velocity.
+    pub fn velocity(&self) -> Vec2 {
+        self.state.velocity
+    }
+
+    /// Number of measurement updates absorbed.
+    pub fn updates(&self) -> usize {
+        self.updates
+    }
+
+    /// Consecutive frames without a measurement.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Predicts the state `dt` seconds ahead (in place).
+    fn predict(&mut self, dt: f64, q_pos: f64, q_vel: f64) {
+        let s = &mut self.state;
+        s.position += s.velocity * dt;
+        // Covariance propagation for [p; v] with F = [[1, dt], [0, 1]]:
+        // P' = F P F^T + Q.
+        let p = s.position_var;
+        let c = s.cross_var;
+        let v = s.velocity_var;
+        s.position_var = p + 2.0 * dt * c + dt * dt * v + q_pos * dt;
+        s.cross_var = c + dt * v;
+        s.velocity_var = v + q_vel * dt;
+    }
+
+    /// Absorbs a position measurement with variance `r`.
+    fn update(&mut self, z: Vec2, r: f64) {
+        let s = &mut self.state;
+        let innovation = z - s.position;
+        let denom = s.position_var + r;
+        let k_pos = s.position_var / denom;
+        let k_vel = s.cross_var / denom;
+        s.position += innovation * k_pos;
+        s.velocity += innovation * k_vel;
+        // Joseph-free simple covariance update (numerically fine at these
+        // scales).
+        let p = s.position_var;
+        let c = s.cross_var;
+        s.position_var = (1.0 - k_pos) * p;
+        s.cross_var = (1.0 - k_pos) * c;
+        s.velocity_var -= k_vel * c;
+        self.updates += 1;
+        self.misses = 0;
+    }
+}
+
+/// Configuration for [`KalmanTracker`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KalmanConfig {
+    /// Process noise on position, m²/s.
+    pub q_pos: f64,
+    /// Process noise on velocity, (m/s)²/s.
+    pub q_vel: f64,
+    /// Measurement noise (position variance), m².
+    pub r_pos: f64,
+    /// Initial velocity variance for new tracks, (m/s)².
+    pub initial_velocity_var: f64,
+    /// Association gate: maximum Mahalanobis-ish normalised distance.
+    pub gate: f64,
+    /// Drop a track after this many consecutive misses.
+    pub max_misses: usize,
+}
+
+impl Default for KalmanConfig {
+    fn default() -> Self {
+        KalmanConfig {
+            q_pos: 0.05,
+            q_vel: 2.0,
+            r_pos: 0.25,
+            initial_velocity_var: 100.0,
+            gate: 9.0,
+            max_misses: 5,
+        }
+    }
+}
+
+/// Constant-velocity Kalman multi-object tracker.
+///
+/// # Examples
+///
+/// ```
+/// use erpd_tracking::{Detection, KalmanConfig, KalmanTracker, ObjectKind};
+/// use erpd_geometry::Vec2;
+///
+/// let mut tracker = KalmanTracker::new(KalmanConfig::default());
+/// for frame in 0..10 {
+///     let t = frame as f64 * 0.1;
+///     tracker.update(t, &[Detection {
+///         position: Vec2::new(12.0 * t, 0.0),
+///         kind: ObjectKind::Vehicle,
+///     }]);
+/// }
+/// let v = tracker.tracks()[0].velocity();
+/// assert!((v.x - 12.0).abs() < 0.8, "vx = {}", v.x);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KalmanTracker {
+    config: KalmanConfig,
+    tracks: Vec<KalmanTrack>,
+    next_id: u64,
+    last_time: Option<f64>,
+}
+
+impl KalmanTracker {
+    /// Creates a tracker.
+    pub fn new(config: KalmanConfig) -> Self {
+        KalmanTracker {
+            config,
+            tracks: Vec::new(),
+            next_id: 0,
+            last_time: None,
+        }
+    }
+
+    /// Live tracks.
+    pub fn tracks(&self) -> &[KalmanTrack] {
+        &self.tracks
+    }
+
+    /// Looks up a track by id.
+    pub fn track(&self, id: ObjectId) -> Option<&KalmanTrack> {
+        self.tracks.iter().find(|t| t.id == id)
+    }
+
+    /// Ingests one frame of detections at time `now`; returns the id
+    /// assigned to each detection, in input order.
+    pub fn update(&mut self, now: f64, detections: &[Detection]) -> Vec<ObjectId> {
+        let dt = self.last_time.map(|t| (now - t).max(0.0)).unwrap_or(0.0);
+        self.last_time = Some(now);
+
+        // Predict all tracks forward.
+        for t in &mut self.tracks {
+            t.predict(dt, self.config.q_pos, self.config.q_vel);
+        }
+
+        // Greedy global-nearest association on the normalised innovation.
+        let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+        for (ti, track) in self.tracks.iter().enumerate() {
+            for (di, det) in detections.iter().enumerate() {
+                if det.kind != track.kind {
+                    continue;
+                }
+                let d2 = track.state.position.distance_squared(det.position);
+                let norm = d2 / (track.state.position_var + self.config.r_pos);
+                if norm <= self.config.gate * self.config.gate {
+                    pairs.push((norm, ti, di));
+                }
+            }
+        }
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let mut track_used = vec![false; self.tracks.len()];
+        let mut det_track: Vec<Option<usize>> = vec![None; detections.len()];
+        for (_, ti, di) in pairs {
+            if !track_used[ti] && det_track[di].is_none() {
+                track_used[ti] = true;
+                det_track[di] = Some(ti);
+            }
+        }
+
+        let mut out = Vec::with_capacity(detections.len());
+        for (di, det) in detections.iter().enumerate() {
+            match det_track[di] {
+                Some(ti) => {
+                    self.tracks[ti].update(det.position, self.config.r_pos);
+                    out.push(self.tracks[ti].id);
+                }
+                None => {
+                    let id = ObjectId(self.next_id);
+                    self.next_id += 1;
+                    self.tracks.push(KalmanTrack {
+                        id,
+                        kind: det.kind,
+                        state: KalmanState {
+                            position: det.position,
+                            velocity: Vec2::ZERO,
+                            position_var: self.config.r_pos,
+                            velocity_var: self.config.initial_velocity_var,
+                            cross_var: 0.0,
+                        },
+                        last_update: now,
+                        misses: 0,
+                        updates: 1,
+                    });
+                    track_used.push(true);
+                    out.push(id);
+                }
+            }
+        }
+        for (ti, used) in track_used.iter().enumerate().take(self.tracks.len()) {
+            if !used {
+                self.tracks[ti].misses += 1;
+            } else {
+                self.tracks[ti].last_update = now;
+            }
+        }
+        let max_misses = self.config.max_misses;
+        self.tracks.retain(|t| t.misses <= max_misses);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(x: f64, y: f64) -> Detection {
+        Detection {
+            position: Vec2::new(x, y),
+            kind: ObjectKind::Vehicle,
+        }
+    }
+
+    #[test]
+    fn velocity_converges_on_linear_motion() {
+        let mut tr = KalmanTracker::new(KalmanConfig::default());
+        for i in 0..20 {
+            let t = i as f64 * 0.1;
+            tr.update(t, &[det(7.0 * t, -2.0 * t)]);
+        }
+        let v = tr.tracks()[0].velocity();
+        assert!((v.x - 7.0).abs() < 0.5, "vx = {}", v.x);
+        assert!((v.y + 2.0).abs() < 0.5, "vy = {}", v.y);
+        // Uncertainty shrinks with updates.
+        assert!(tr.tracks()[0].state().position_var < 0.25);
+    }
+
+    #[test]
+    fn filters_measurement_noise() {
+        // Deterministic "noise": alternating ±0.3 m offsets.
+        let mut tr = KalmanTracker::new(KalmanConfig::default());
+        for i in 0..30 {
+            let t = i as f64 * 0.1;
+            let noise = if i % 2 == 0 { 0.3 } else { -0.3 };
+            tr.update(t, &[det(5.0 * t + noise, 0.0)]);
+        }
+        let v = tr.tracks()[0].velocity();
+        // The raw finite difference of the noisy signal swings by ±6 m/s;
+        // the filter must do far better.
+        assert!((v.x - 5.0).abs() < 1.0, "vx = {}", v.x);
+    }
+
+    #[test]
+    fn identity_maintained_through_misses() {
+        let mut tr = KalmanTracker::new(KalmanConfig::default());
+        let id0 = tr.update(0.0, &[det(0.0, 0.0)])[0];
+        tr.update(0.1, &[det(1.0, 0.0)]);
+        tr.update(0.2, &[]); // miss
+        tr.update(0.3, &[]); // miss
+        let id1 = tr.update(0.4, &[det(4.0, 0.0)])[0];
+        assert_eq!(id0, id1);
+        assert_eq!(tr.tracks().len(), 1);
+    }
+
+    #[test]
+    fn stale_tracks_dropped() {
+        let cfg = KalmanConfig {
+            max_misses: 2,
+            ..KalmanConfig::default()
+        };
+        let mut tr = KalmanTracker::new(cfg);
+        tr.update(0.0, &[det(0.0, 0.0)]);
+        for i in 1..=3 {
+            tr.update(i as f64 * 0.1, &[]);
+        }
+        assert!(tr.tracks().is_empty());
+    }
+
+    #[test]
+    fn two_targets_no_swap() {
+        let mut tr = KalmanTracker::new(KalmanConfig::default());
+        let mut ids = (None, None);
+        for i in 0..15 {
+            let t = i as f64 * 0.1;
+            let r = tr.update(t, &[det(10.0 * t, 0.0), det(60.0 - 10.0 * t, 8.0)]);
+            if i == 0 {
+                ids = (Some(r[0]), Some(r[1]));
+            } else {
+                assert_eq!(Some(r[0]), ids.0);
+                assert_eq!(Some(r[1]), ids.1);
+            }
+        }
+    }
+
+    #[test]
+    fn kinds_do_not_associate() {
+        let mut tr = KalmanTracker::new(KalmanConfig::default());
+        tr.update(0.0, &[det(0.0, 0.0)]);
+        tr.update(
+            0.1,
+            &[Detection {
+                position: Vec2::new(0.1, 0.0),
+                kind: ObjectKind::Pedestrian,
+            }],
+        );
+        assert_eq!(tr.tracks().len(), 2);
+    }
+
+    #[test]
+    fn far_detection_opens_new_track() {
+        let mut tr = KalmanTracker::new(KalmanConfig::default());
+        let a = tr.update(0.0, &[det(0.0, 0.0)])[0];
+        let b = tr.update(0.1, &[det(400.0, 0.0)])[0];
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn covariance_grows_during_prediction() {
+        let mut tr = KalmanTracker::new(KalmanConfig::default());
+        tr.update(0.0, &[det(0.0, 0.0)]);
+        tr.update(0.1, &[det(1.0, 0.0)]);
+        let before = tr.tracks()[0].state().position_var;
+        tr.update(0.5, &[]); // long coast
+        let after = tr.tracks()[0].state().position_var;
+        assert!(after > before, "{after} vs {before}");
+    }
+
+    #[test]
+    fn comparable_to_ls_tracker_on_clean_motion() {
+        use crate::{Tracker, TrackerConfig};
+        let mut kf = KalmanTracker::new(KalmanConfig::default());
+        let mut ls = Tracker::new(TrackerConfig::default());
+        for i in 0..12 {
+            let t = i as f64 * 0.1;
+            let d = [det(9.0 * t, 3.0 * t)];
+            kf.update(t, &d);
+            ls.update(t, &d);
+        }
+        let vk = kf.tracks()[0].velocity();
+        let vl = ls.tracks()[0].velocity();
+        assert!((vk - vl).norm() < 1.0, "kf {vk} vs ls {vl}");
+    }
+}

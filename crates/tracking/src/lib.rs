@@ -1,0 +1,50 @@
+//! Object tracking, trajectory prediction, and tracking-reduction rules for
+//! the ERPD stack (paper §II-D).
+//!
+//! The edge server cannot predict every object in real time, so it:
+//!
+//! 1. tracks merged-map detections over time with [`Tracker`],
+//! 2. applies [`apply_rules`] (Rules 1–3 of the paper) to select which
+//!    objects actually need a predicted trajectory — lane leaders,
+//!    in-intersection vehicles, and one representative per pedestrian
+//!    [`Crowd`], and
+//! 3. predicts those trajectories with [`predict_ctrv`] /
+//!    [`predict_from_track`], producing [`PredictedTrajectory`] values the
+//!    relevance estimator consumes.
+//!
+//! # Examples
+//!
+//! ```
+//! use erpd_tracking::{cluster_crowds, CrowdParams, ObjectId, Pedestrian};
+//! use erpd_geometry::Vec2;
+//!
+//! let peds: Vec<Pedestrian> = (0..6)
+//!     .map(|i| Pedestrian {
+//!         id: ObjectId(i),
+//!         position: Vec2::new(i as f64 * 0.4, 0.0),
+//!         orientation: 0.0,
+//!         speed: 1.3,
+//!     })
+//!     .collect();
+//! let crowds = cluster_crowds(&peds, &CrowdParams::default());
+//! assert_eq!(crowds.len(), 1); // one coherent crowd, one prediction
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod crowd;
+mod deviation;
+mod kalman;
+mod object;
+mod predict;
+mod rules;
+mod track;
+
+pub use crowd::{cluster_crowds, cluster_dbscan, Crowd, CrowdParams, Pedestrian};
+pub use deviation::{crowd_final_deviations, final_position, mean_final_deviation};
+pub use kalman::{KalmanConfig, KalmanState, KalmanTrack, KalmanTracker};
+pub use object::{ObjectId, ObjectKind, ObjectState};
+pub use predict::{predict_ctrv, predict_from_track, PredictedTrajectory, PredictorConfig};
+pub use rules::{apply_rules, FollowerLink, LanePosition, RuleInput, TrackingSelection};
+pub use track::{Detection, Track, Tracker, TrackerConfig};

@@ -1,0 +1,442 @@
+//! Trajectory prediction (paper's *Trajectory Prediction* module).
+//!
+//! The paper's relevance math consumes, for each tracked object, a predicted
+//! path over a horizon `T` together with per-waypoint bivariate-Gaussian
+//! uncertainty (refs [24]–[26] all emit exactly that interface). As
+//! documented in DESIGN.md we substitute the deep predictors with a
+//! constant-turn-rate-and-velocity (CTRV) kinematic model whose uncertainty
+//! grows linearly with the prediction horizon — the downstream relevance
+//! computation is agnostic to the predictor family.
+
+use crate::{ObjectId, ObjectKind, Track};
+use erpd_geometry::{BivariateGaussian, Circle, Interval, Polyline2, Vec2};
+
+/// Configuration for the predictor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictorConfig {
+    /// Maximum prediction horizon `T`, seconds. This is the `T` of the
+    /// paper's `R_ttc = 1 - ttc / T` formula.
+    pub horizon: f64,
+    /// Time step between generated waypoints, seconds.
+    pub step: f64,
+    /// Positional uncertainty at `t = 0`, metres (1 sigma).
+    pub sigma0: f64,
+    /// Uncertainty growth rate, metres per second of horizon.
+    pub sigma_growth: f64,
+    /// Below this speed (m/s) an object is treated as stationary.
+    pub stationary_speed: f64,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig {
+            horizon: 5.0,
+            step: 0.25,
+            sigma0: 0.3,
+            sigma_growth: 0.4,
+            stationary_speed: 0.1,
+        }
+    }
+}
+
+/// A predicted trajectory over the configured horizon.
+///
+/// # Examples
+///
+/// ```
+/// use erpd_tracking::{predict_ctrv, ObjectId, ObjectKind, PredictorConfig};
+/// use erpd_geometry::Vec2;
+///
+/// let traj = predict_ctrv(
+///     ObjectId(1),
+///     ObjectKind::Vehicle,
+///     Vec2::ZERO,
+///     10.0, // m/s
+///     0.0,  // heading east
+///     0.0,  // no turn
+///     4.5,
+///     PredictorConfig::default(),
+/// );
+/// let p = traj.position_at(2.0);
+/// assert!((p - Vec2::new(20.0, 0.0)).norm() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictedTrajectory {
+    /// Identity of the predicted object.
+    pub object: ObjectId,
+    /// Kind of the predicted object.
+    pub kind: ObjectKind,
+    /// Footprint length used for collision-area sizing, metres.
+    pub length: f64,
+    speed: f64,
+    start: Vec2,
+    path: Option<Polyline2>,
+    horizon: f64,
+    sigma0: f64,
+    sigma_growth: f64,
+}
+
+impl PredictedTrajectory {
+    /// A trajectory for an object that is not moving.
+    pub fn stationary(
+        object: ObjectId,
+        kind: ObjectKind,
+        position: Vec2,
+        length: f64,
+        config: PredictorConfig,
+    ) -> Self {
+        PredictedTrajectory {
+            object,
+            kind,
+            length,
+            speed: 0.0,
+            start: position,
+            path: None,
+            horizon: config.horizon,
+            sigma0: config.sigma0,
+            sigma_growth: config.sigma_growth,
+        }
+    }
+
+    /// A trajectory following an explicit map path at constant speed — the
+    /// map-based route-hypothesis predictor used by the edge server for
+    /// vehicles whose manoeuvre is constrained by their lane (e.g. an inner
+    /// lane allows straight or left; the deep predictors the paper cites
+    /// learn this from context, we read it off the HD map).
+    ///
+    /// `path` must start at the object's current position. Falls back to a
+    /// stationary trajectory when `speed` is below the configured threshold
+    /// or the path is degenerate.
+    pub fn from_path(
+        object: ObjectId,
+        kind: ObjectKind,
+        path: Polyline2,
+        speed: f64,
+        length: f64,
+        config: PredictorConfig,
+    ) -> Self {
+        if speed < config.stationary_speed {
+            let start = path.points()[0];
+            return PredictedTrajectory::stationary(object, kind, start, length, config);
+        }
+        // Trim the path to the reachable horizon.
+        let reach = speed * config.horizon;
+        let path = path.slice(0.0, reach.min(path.length())).unwrap_or(path);
+        PredictedTrajectory {
+            object,
+            kind,
+            length,
+            speed,
+            start: path.points()[0],
+            path: Some(path),
+            horizon: config.horizon,
+            sigma0: config.sigma0,
+            sigma_growth: config.sigma_growth,
+        }
+    }
+
+    /// Constant speed along the path, m/s (0 for stationary objects).
+    #[inline]
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Prediction horizon `T`, seconds.
+    #[inline]
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// The spatial path, or `None` for stationary objects.
+    #[inline]
+    pub fn path(&self) -> Option<&Polyline2> {
+        self.path.as_ref()
+    }
+
+    /// True when the object is predicted not to move.
+    #[inline]
+    pub fn is_stationary(&self) -> bool {
+        self.path.is_none()
+    }
+
+    /// Predicted position at time `t` (clamped to `[0, horizon]`).
+    pub fn position_at(&self, t: f64) -> Vec2 {
+        match &self.path {
+            None => self.start,
+            Some(path) => path.point_at(self.speed * t.clamp(0.0, self.horizon)),
+        }
+    }
+
+    /// Per-waypoint uncertainty at time `t`: a bivariate Gaussian centred on
+    /// the predicted position whose sigma grows linearly with `t`.
+    pub fn gaussian_at(&self, t: f64) -> BivariateGaussian {
+        let sigma = self.sigma0 + self.sigma_growth * t.clamp(0.0, self.horizon);
+        BivariateGaussian::isotropic(self.position_at(t), sigma.max(1e-3))
+            .expect("positive sigma")
+    }
+
+    /// Time intervals within `[0, horizon]` during which the object is
+    /// inside `circle` — the *passing times* of the paper's relevance
+    /// formula.
+    pub fn passing_intervals(&self, circle: &Circle) -> Vec<Interval> {
+        match &self.path {
+            None => {
+                if circle.contains(self.start) {
+                    vec![Interval::new(0.0, self.horizon).expect("valid horizon")]
+                } else {
+                    Vec::new()
+                }
+            }
+            Some(path) => {
+                let mut out = Vec::new();
+                for (s0, s1) in path.circle_intervals(circle) {
+                    let t0 = s0 / self.speed;
+                    let t1 = s1 / self.speed;
+                    if t0 >= self.horizon {
+                        continue;
+                    }
+                    if let Some(iv) = Interval::new(t0.max(0.0), t1.min(self.horizon)) {
+                        if iv.length() > 1e-9 {
+                            out.push(iv);
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// The first passing interval through `circle`, if any.
+    pub fn first_passing_interval(&self, circle: &Circle) -> Option<Interval> {
+        self.passing_intervals(circle).into_iter().next()
+    }
+}
+
+/// Predicts a trajectory with the constant-turn-rate-and-velocity model.
+///
+/// Produces a stationary trajectory when `speed` is below the configured
+/// threshold.
+#[allow(clippy::too_many_arguments)]
+pub fn predict_ctrv(
+    object: ObjectId,
+    kind: ObjectKind,
+    position: Vec2,
+    speed: f64,
+    heading: f64,
+    turn_rate: f64,
+    length: f64,
+    config: PredictorConfig,
+) -> PredictedTrajectory {
+    if speed < config.stationary_speed {
+        return PredictedTrajectory::stationary(object, kind, position, length, config);
+    }
+    let steps = (config.horizon / config.step).ceil() as usize;
+    let mut points = Vec::with_capacity(steps + 1);
+    let mut pos = position;
+    let mut theta = heading;
+    points.push(pos);
+    for _ in 0..steps {
+        pos += Vec2::from_angle(theta) * (speed * config.step);
+        theta += turn_rate * config.step;
+        points.push(pos);
+    }
+    let path = Polyline2::new(points).expect("at least two distinct waypoints");
+    PredictedTrajectory {
+        object,
+        kind,
+        length,
+        speed,
+        start: position,
+        path: Some(path),
+        horizon: config.horizon,
+        sigma0: config.sigma0,
+        sigma_growth: config.sigma_growth,
+    }
+}
+
+/// Predicts a trajectory from a live [`Track`], using its velocity and
+/// turn-rate estimates.
+pub fn predict_from_track(track: &Track, length: f64, config: PredictorConfig) -> PredictedTrajectory {
+    let v = track.velocity();
+    predict_ctrv(
+        track.id(),
+        track.kind(),
+        track.position(),
+        v.norm(),
+        if v.norm() > 1e-9 { v.angle() } else { 0.0 },
+        track.turn_rate(),
+        length,
+        config,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight(speed: f64) -> PredictedTrajectory {
+        predict_ctrv(
+            ObjectId(1),
+            ObjectKind::Vehicle,
+            Vec2::ZERO,
+            speed,
+            0.0,
+            0.0,
+            4.5,
+            PredictorConfig::default(),
+        )
+    }
+
+    #[test]
+    fn straight_line_positions() {
+        let t = straight(10.0);
+        assert!((t.position_at(0.0) - Vec2::ZERO).norm() < 1e-9);
+        assert!((t.position_at(1.0) - Vec2::new(10.0, 0.0)).norm() < 1e-6);
+        assert!((t.position_at(5.0) - Vec2::new(50.0, 0.0)).norm() < 1e-6);
+        // Clamped beyond horizon.
+        assert!((t.position_at(99.0) - Vec2::new(50.0, 0.0)).norm() < 1e-6);
+    }
+
+    #[test]
+    fn turning_path_curves() {
+        let t = predict_ctrv(
+            ObjectId(1),
+            ObjectKind::Vehicle,
+            Vec2::ZERO,
+            10.0,
+            0.0,
+            0.5, // rad/s left turn
+            4.5,
+            PredictorConfig::default(),
+        );
+        let p = t.position_at(3.0);
+        assert!(p.y > 5.0, "turned path should veer left, got {p}");
+        // Path length still equals speed * horizon.
+        assert!((t.path().unwrap().length() - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slow_object_is_stationary() {
+        let t = straight(0.05);
+        assert!(t.is_stationary());
+        assert_eq!(t.position_at(3.0), Vec2::ZERO);
+        assert_eq!(t.speed(), 0.0);
+    }
+
+    #[test]
+    fn uncertainty_grows_with_horizon() {
+        let t = straight(10.0);
+        let g0 = t.gaussian_at(0.0);
+        let g5 = t.gaussian_at(5.0);
+        assert!(g5.sigma_x() > g0.sigma_x());
+        assert!((g0.sigma_x() - 0.3).abs() < 1e-9);
+        assert!((g5.sigma_x() - (0.3 + 0.4 * 5.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn passing_interval_through_circle() {
+        let t = straight(10.0);
+        let c = Circle::new(Vec2::new(20.0, 0.0), 5.0);
+        let iv = t.first_passing_interval(&c).unwrap();
+        assert!((iv.start() - 1.5).abs() < 1e-6);
+        assert!((iv.end() - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn passing_interval_clamped_to_horizon() {
+        let t = straight(10.0);
+        // Circle straddling the end of the 50 m path.
+        let c = Circle::new(Vec2::new(50.0, 0.0), 5.0);
+        let iv = t.first_passing_interval(&c).unwrap();
+        assert!((iv.start() - 4.5).abs() < 1e-6);
+        assert!((iv.end() - 5.0).abs() < 1e-6);
+        // Circle entirely beyond the horizon.
+        let far = Circle::new(Vec2::new(100.0, 0.0), 5.0);
+        assert!(t.first_passing_interval(&far).is_none());
+    }
+
+    #[test]
+    fn stationary_object_in_circle_occupies_whole_horizon() {
+        let cfg = PredictorConfig::default();
+        let t = PredictedTrajectory::stationary(ObjectId(2), ObjectKind::Pedestrian, Vec2::new(1.0, 1.0), 0.6, cfg);
+        let c = Circle::new(Vec2::ZERO, 3.0);
+        let iv = t.first_passing_interval(&c).unwrap();
+        assert_eq!(iv.start(), 0.0);
+        assert_eq!(iv.end(), cfg.horizon);
+        let out = Circle::new(Vec2::new(50.0, 0.0), 3.0);
+        assert!(t.first_passing_interval(&out).is_none());
+    }
+
+    #[test]
+    fn path_missing_circle_has_no_interval() {
+        let t = straight(10.0);
+        let c = Circle::new(Vec2::new(20.0, 30.0), 5.0);
+        assert!(t.passing_intervals(&c).is_empty());
+    }
+
+    #[test]
+    fn predict_from_track_matches_motion() {
+        use crate::{Detection, Tracker, TrackerConfig};
+        let mut tr = Tracker::new(TrackerConfig::default());
+        for i in 0..8 {
+            let t = i as f64 * 0.1;
+            tr.update(
+                t,
+                &[Detection {
+                    position: Vec2::new(8.0 * t, 0.0),
+                    kind: ObjectKind::Vehicle,
+                }],
+            );
+        }
+        let traj = predict_from_track(&tr.tracks()[0], 4.5, PredictorConfig::default());
+        assert!(!traj.is_stationary());
+        assert!((traj.speed() - 8.0).abs() < 0.2);
+        // One second ahead of the last observation (x = 5.6) is x ~ 13.6.
+        let p = traj.position_at(1.0);
+        assert!((p.x - 13.6).abs() < 0.5, "p = {p}");
+    }
+
+    #[test]
+    fn from_path_follows_the_map_route() {
+        let path = Polyline2::new(vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(20.0, 0.0),
+            Vec2::new(20.0, 40.0),
+        ])
+        .unwrap();
+        let t = PredictedTrajectory::from_path(
+            ObjectId(5),
+            ObjectKind::Vehicle,
+            path,
+            10.0,
+            4.5,
+            PredictorConfig::default(),
+        );
+        // After 3 s (30 m) the object is 10 m up the second leg.
+        assert!((t.position_at(3.0) - Vec2::new(20.0, 10.0)).norm() < 1e-6);
+        // Path trimmed to the 50 m horizon reach.
+        assert!((t.path().unwrap().length() - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn from_path_slow_object_is_stationary() {
+        let path = Polyline2::new(vec![Vec2::new(1.0, 2.0), Vec2::new(5.0, 2.0)]).unwrap();
+        let t = PredictedTrajectory::from_path(
+            ObjectId(5),
+            ObjectKind::Vehicle,
+            path,
+            0.01,
+            4.5,
+            PredictorConfig::default(),
+        );
+        assert!(t.is_stationary());
+        assert_eq!(t.position_at(2.0), Vec2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn gaussian_centred_on_path() {
+        let t = straight(10.0);
+        let g = t.gaussian_at(2.0);
+        assert!((g.mean() - Vec2::new(20.0, 0.0)).norm() < 1e-6);
+    }
+}

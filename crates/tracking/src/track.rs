@@ -1,0 +1,406 @@
+//! Multi-object tracking over the merged traffic map (paper's *Object
+//! Tracking* module).
+//!
+//! The edge server receives per-frame object detections (cluster centroids
+//! from the merged map) and must associate them over time to estimate
+//! velocities for trajectory prediction. A gated nearest-neighbour
+//! association with constant-velocity gating is sufficient at the densities
+//! the paper evaluates (tens of objects per intersection).
+
+use crate::{ObjectId, ObjectKind};
+use erpd_geometry::Vec2;
+use std::collections::VecDeque;
+
+/// One detection fed to the tracker (no identity attached).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Planar position, world frame.
+    pub position: Vec2,
+    /// Classified kind.
+    pub kind: ObjectKind,
+}
+
+/// A live track maintained by the tracker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Track {
+    id: ObjectId,
+    kind: ObjectKind,
+    history: VecDeque<(f64, Vec2)>,
+    misses: usize,
+}
+
+impl Track {
+    /// The track's identity.
+    #[inline]
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// The tracked object's kind.
+    #[inline]
+    pub fn kind(&self) -> ObjectKind {
+        self.kind
+    }
+
+    /// Most recent position.
+    pub fn position(&self) -> Vec2 {
+        self.history.back().expect("track has >= 1 observation").1
+    }
+
+    /// Timestamp of the most recent observation.
+    pub fn last_seen(&self) -> f64 {
+        self.history.back().expect("track has >= 1 observation").0
+    }
+
+    /// Number of consecutive frames without an observation.
+    #[inline]
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Number of stored observations.
+    #[inline]
+    pub fn observations(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Velocity estimate from the stored history (least-squares slope over
+    /// the window), or zero for a single observation.
+    pub fn velocity(&self) -> Vec2 {
+        let n = self.history.len();
+        if n < 2 {
+            return Vec2::ZERO;
+        }
+        // Least-squares fit of position against time.
+        let t_mean = self.history.iter().map(|(t, _)| *t).sum::<f64>() / n as f64;
+        let p_mean = self.history.iter().map(|(_, p)| *p).sum::<Vec2>() / n as f64;
+        let mut num = Vec2::ZERO;
+        let mut den = 0.0;
+        for (t, p) in &self.history {
+            let dt = t - t_mean;
+            num += (*p - p_mean) * dt;
+            den += dt * dt;
+        }
+        if den <= f64::EPSILON {
+            Vec2::ZERO
+        } else {
+            num / den
+        }
+    }
+
+    /// Heading estimate: direction of the velocity, or `None` when nearly
+    /// stationary.
+    pub fn heading(&self) -> Option<f64> {
+        let v = self.velocity();
+        (v.norm() > 0.05).then(|| v.angle())
+    }
+
+    /// Turn-rate estimate (rad/s) from the change of direction over the
+    /// history window; zero when motion is too short or too slow.
+    pub fn turn_rate(&self) -> f64 {
+        let n = self.history.len();
+        if n < 3 {
+            return 0.0;
+        }
+        let (t0, p0) = self.history[0];
+        let (_, pm) = self.history[n / 2];
+        let (t1, p1) = self.history[n - 1];
+        let v_early = pm - p0;
+        let v_late = p1 - pm;
+        if v_early.norm() < 0.05 || v_late.norm() < 0.05 || t1 - t0 <= f64::EPSILON {
+            return 0.0;
+        }
+        let dtheta = erpd_geometry::angle::angle_diff(v_late.angle(), v_early.angle());
+        dtheta / ((t1 - t0) / 2.0)
+    }
+}
+
+/// Configuration for [`Tracker`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackerConfig {
+    /// Maximum association distance per second of elapsed time plus a fixed
+    /// slack, metres: gate = `gate_base + gate_speed * dt`.
+    pub gate_base: f64,
+    /// Speed component of the gate, m/s (should exceed the fastest object).
+    pub gate_speed: f64,
+    /// Drop a track after this many consecutive missed frames.
+    pub max_misses: usize,
+    /// Observations kept per track for velocity estimation.
+    pub history_len: usize,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        TrackerConfig {
+            gate_base: 1.0,
+            gate_speed: 20.0, // 72 km/h
+            max_misses: 5,
+            history_len: 8,
+        }
+    }
+}
+
+/// Gated nearest-neighbour multi-object tracker.
+///
+/// # Examples
+///
+/// ```
+/// use erpd_tracking::{Detection, ObjectKind, Tracker, TrackerConfig};
+/// use erpd_geometry::Vec2;
+///
+/// let mut tracker = Tracker::new(TrackerConfig::default());
+/// for frame in 0..5 {
+///     let t = frame as f64 * 0.1;
+///     tracker.update(t, &[Detection {
+///         position: Vec2::new(10.0 * t, 0.0), // 10 m/s along +x
+///         kind: ObjectKind::Vehicle,
+///     }]);
+/// }
+/// let track = &tracker.tracks()[0];
+/// assert!((track.velocity().x - 10.0).abs() < 0.2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tracker {
+    config: TrackerConfig,
+    tracks: Vec<Track>,
+    next_id: u64,
+    last_time: Option<f64>,
+}
+
+impl Tracker {
+    /// Creates a tracker.
+    pub fn new(config: TrackerConfig) -> Self {
+        Tracker {
+            config,
+            tracks: Vec::new(),
+            next_id: 0,
+            last_time: None,
+        }
+    }
+
+    /// Live tracks, in creation order.
+    #[inline]
+    pub fn tracks(&self) -> &[Track] {
+        &self.tracks
+    }
+
+    /// Looks up a track by id.
+    pub fn track(&self, id: ObjectId) -> Option<&Track> {
+        self.tracks.iter().find(|t| t.id == id)
+    }
+
+    /// Ingests one frame of detections at time `now` (seconds, must be
+    /// non-decreasing across calls). Returns the ids assigned to each
+    /// detection, in input order.
+    pub fn update(&mut self, now: f64, detections: &[Detection]) -> Vec<ObjectId> {
+        let dt = self.last_time.map(|t| (now - t).max(0.0)).unwrap_or(0.0);
+        self.last_time = Some(now);
+        let gate = self.config.gate_base + self.config.gate_speed * dt;
+
+        // Greedy globally-nearest association: collect all (dist, track, det)
+        // pairs under the gate, sort, and assign each side at most once.
+        let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+        for (ti, track) in self.tracks.iter().enumerate() {
+            let predicted = track.position() + track.velocity() * dt;
+            for (di, det) in detections.iter().enumerate() {
+                if det.kind != track.kind {
+                    continue;
+                }
+                let d = predicted.distance(det.position);
+                if d <= gate {
+                    pairs.push((d, ti, di));
+                }
+            }
+        }
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+
+        let mut track_used = vec![false; self.tracks.len()];
+        let mut det_assigned: Vec<Option<usize>> = vec![None; detections.len()];
+        for (_, ti, di) in pairs {
+            if !track_used[ti] && det_assigned[di].is_none() {
+                track_used[ti] = true;
+                det_assigned[di] = Some(ti);
+            }
+        }
+
+        let mut out = Vec::with_capacity(detections.len());
+        for (di, det) in detections.iter().enumerate() {
+            match det_assigned[di] {
+                Some(ti) => {
+                    let track = &mut self.tracks[ti];
+                    track.history.push_back((now, det.position));
+                    while track.history.len() > self.config.history_len {
+                        track.history.pop_front();
+                    }
+                    track.misses = 0;
+                    out.push(track.id);
+                }
+                None => {
+                    let id = ObjectId(self.next_id);
+                    self.next_id += 1;
+                    let mut history = VecDeque::with_capacity(self.config.history_len);
+                    history.push_back((now, det.position));
+                    self.tracks.push(Track {
+                        id,
+                        kind: det.kind,
+                        history,
+                        misses: 0,
+                    });
+                    track_used.push(true);
+                    out.push(id);
+                }
+            }
+        }
+
+        // Age unmatched tracks and drop stale ones.
+        for (ti, used) in track_used.iter().enumerate().take(self.tracks.len()) {
+            if !used {
+                self.tracks[ti].misses += 1;
+            }
+        }
+        let max_misses = self.config.max_misses;
+        self.tracks.retain(|t| t.misses <= max_misses);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(x: f64, y: f64) -> Detection {
+        Detection {
+            position: Vec2::new(x, y),
+            kind: ObjectKind::Vehicle,
+        }
+    }
+
+    #[test]
+    fn single_object_keeps_identity() {
+        let mut tr = Tracker::new(TrackerConfig::default());
+        let mut ids = Vec::new();
+        for i in 0..10 {
+            let r = tr.update(i as f64 * 0.1, &[det(i as f64, 0.0)]);
+            ids.push(r[0]);
+        }
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(tr.tracks().len(), 1);
+    }
+
+    #[test]
+    fn velocity_estimate_converges() {
+        let mut tr = Tracker::new(TrackerConfig::default());
+        for i in 0..8 {
+            let t = i as f64 * 0.1;
+            tr.update(t, &[det(5.0 * t, -3.0 * t)]);
+        }
+        let v = tr.tracks()[0].velocity();
+        assert!((v.x - 5.0).abs() < 0.1, "vx = {}", v.x);
+        assert!((v.y + 3.0).abs() < 0.1, "vy = {}", v.y);
+    }
+
+    #[test]
+    fn two_objects_do_not_swap() {
+        let mut tr = Tracker::new(TrackerConfig::default());
+        let mut id_a = None;
+        let mut id_b = None;
+        for i in 0..10 {
+            let t = i as f64 * 0.1;
+            // A moves east along y=0; B moves west along y=10.
+            let r = tr.update(t, &[det(10.0 * t, 0.0), det(50.0 - 10.0 * t, 10.0)]);
+            if i == 0 {
+                id_a = Some(r[0]);
+                id_b = Some(r[1]);
+            } else {
+                assert_eq!(r[0], id_a.unwrap());
+                assert_eq!(r[1], id_b.unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn kinds_never_associate() {
+        let mut tr = Tracker::new(TrackerConfig::default());
+        tr.update(0.0, &[det(0.0, 0.0)]);
+        // A pedestrian detection at the same spot must open a new track.
+        let r = tr.update(0.1, &[Detection {
+            position: Vec2::new(0.0, 0.0),
+            kind: ObjectKind::Pedestrian,
+        }]);
+        assert_eq!(tr.tracks().len(), 2);
+        assert_eq!(tr.track(r[0]).unwrap().kind(), ObjectKind::Pedestrian);
+    }
+
+    #[test]
+    fn stale_tracks_are_dropped() {
+        let cfg = TrackerConfig {
+            max_misses: 2,
+            ..TrackerConfig::default()
+        };
+        let mut tr = Tracker::new(cfg);
+        tr.update(0.0, &[det(0.0, 0.0)]);
+        for i in 1..=3 {
+            tr.update(i as f64 * 0.1, &[]);
+        }
+        assert!(tr.tracks().is_empty());
+    }
+
+    #[test]
+    fn occlusion_gap_survives_within_misses() {
+        let mut tr = Tracker::new(TrackerConfig::default());
+        let id0 = tr.update(0.0, &[det(0.0, 0.0)])[0];
+        tr.update(0.1, &[det(1.0, 0.0)]);
+        // Two missed frames.
+        tr.update(0.2, &[]);
+        tr.update(0.3, &[]);
+        // Reappears where constant velocity predicts (x ~ 4).
+        let id1 = tr.update(0.4, &[det(4.0, 0.0)])[0];
+        assert_eq!(id0, id1);
+    }
+
+    #[test]
+    fn far_detection_opens_new_track() {
+        let mut tr = Tracker::new(TrackerConfig::default());
+        let a = tr.update(0.0, &[det(0.0, 0.0)])[0];
+        let b = tr.update(0.1, &[det(500.0, 0.0)])[0];
+        assert_ne!(a, b);
+        assert_eq!(tr.tracks().len(), 2);
+    }
+
+    #[test]
+    fn turn_rate_detected_on_curved_path() {
+        let mut tr = Tracker::new(TrackerConfig::default());
+        // Quarter circle of radius 20 m at ~10 m/s: omega = v/r = 0.5 rad/s.
+        let omega: f64 = 0.5;
+        let r = 20.0;
+        for i in 0..8 {
+            let t = i as f64 * 0.1;
+            let a = omega * t;
+            tr.update(t, &[det(r * a.sin(), r * (1.0 - a.cos()))]);
+        }
+        let w = tr.tracks()[0].turn_rate();
+        assert!((w - omega).abs() < 0.15, "turn rate = {w}");
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let cfg = TrackerConfig {
+            history_len: 4,
+            ..TrackerConfig::default()
+        };
+        let mut tr = Tracker::new(cfg);
+        for i in 0..20 {
+            tr.update(i as f64 * 0.1, &[det(i as f64, 0.0)]);
+        }
+        assert_eq!(tr.tracks()[0].observations(), 4);
+    }
+
+    #[test]
+    fn single_observation_has_zero_velocity() {
+        let mut tr = Tracker::new(TrackerConfig::default());
+        tr.update(0.0, &[det(3.0, 4.0)]);
+        assert_eq!(tr.tracks()[0].velocity(), Vec2::ZERO);
+        assert!(tr.tracks()[0].heading().is_none());
+        assert_eq!(tr.tracks()[0].turn_rate(), 0.0);
+    }
+}

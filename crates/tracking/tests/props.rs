@@ -1,0 +1,118 @@
+//! Property-based tests for tracking, prediction, and crowd clustering.
+
+use erpd_geometry::stats::location_std;
+use erpd_geometry::Vec2;
+use erpd_tracking::{
+    cluster_crowds, predict_ctrv, CrowdParams, Detection, KalmanConfig, KalmanTracker, ObjectId,
+    ObjectKind, Pedestrian, PredictorConfig, Tracker, TrackerConfig,
+};
+use proptest::prelude::*;
+
+fn ped_strategy() -> impl Strategy<Value = Pedestrian> {
+    (
+        0u64..1000,
+        -30.0f64..30.0,
+        -30.0f64..30.0,
+        -3.14f64..3.14,
+        0.5f64..2.0,
+    )
+        .prop_map(|(id, x, y, o, v)| Pedestrian {
+            id: ObjectId(id),
+            position: Vec2::new(x, y),
+            orientation: o,
+            speed: v,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Crowd clustering postconditions hold on arbitrary pedestrian sets:
+    /// exact partition, representative membership, and both deviation
+    /// constraints.
+    #[test]
+    fn crowd_clustering_invariants(peds in proptest::collection::vec(ped_strategy(), 0..40)) {
+        let params = CrowdParams::default();
+        let crowds = cluster_crowds(&peds, &params);
+        let mut seen = vec![false; peds.len()];
+        for c in &crowds {
+            prop_assert!(!c.is_empty());
+            prop_assert!(c.members.contains(&c.representative));
+            for &m in &c.members {
+                prop_assert!(!seen[m], "pedestrian {m} assigned twice");
+                seen[m] = true;
+            }
+            if c.len() >= 2 {
+                let pos: Vec<Vec2> = c.members.iter().map(|&i| peds[i].position).collect();
+                prop_assert!(location_std(&pos) <= params.beta + 1e-9);
+                let os: Vec<f64> = c.members.iter().map(|&i| peds[i].orientation).collect();
+                prop_assert!(
+                    erpd_geometry::angle::circular_std_deg(&os) <= params.gamma_deg + 1e-6
+                );
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "some pedestrian missing");
+    }
+
+    /// Predicted positions always start at the object's position and never
+    /// move faster than the given speed.
+    #[test]
+    fn prediction_respects_kinematics(
+        x in -50.0f64..50.0, y in -50.0f64..50.0,
+        speed in 0.0f64..20.0, heading in -3.14f64..3.14, omega in -0.5f64..0.5,
+    ) {
+        let cfg = PredictorConfig::default();
+        let t = predict_ctrv(ObjectId(1), ObjectKind::Vehicle, Vec2::new(x, y), speed, heading, omega, 4.5, cfg);
+        prop_assert!((t.position_at(0.0) - Vec2::new(x, y)).norm() < 1e-9);
+        let mut prev = t.position_at(0.0);
+        for k in 1..=20 {
+            let tau = cfg.horizon * k as f64 / 20.0;
+            let p = t.position_at(tau);
+            let step_dist = p.distance(prev);
+            let dt = cfg.horizon / 20.0;
+            prop_assert!(step_dist <= speed * dt + 1e-6, "moved {step_dist} in {dt}s at speed {speed}");
+            prev = p;
+        }
+    }
+
+    /// Both trackers maintain identity on smooth single-target motion and
+    /// report comparable velocities.
+    #[test]
+    fn trackers_agree_on_linear_motion(vx in -15.0f64..15.0, vy in -15.0f64..15.0) {
+        let mut gnn = Tracker::new(TrackerConfig::default());
+        let mut kf = KalmanTracker::new(KalmanConfig::default());
+        let mut gnn_ids = Vec::new();
+        let mut kf_ids = Vec::new();
+        for i in 0..15 {
+            let t = i as f64 * 0.1;
+            let d = [Detection {
+                position: Vec2::new(vx * t, vy * t),
+                kind: ObjectKind::Vehicle,
+            }];
+            gnn_ids.push(gnn.update(t, &d)[0]);
+            kf_ids.push(kf.update(t, &d)[0]);
+        }
+        prop_assert!(gnn_ids.windows(2).all(|w| w[0] == w[1]));
+        prop_assert!(kf_ids.windows(2).all(|w| w[0] == w[1]));
+        let v_true = Vec2::new(vx, vy);
+        prop_assert!((gnn.tracks()[0].velocity() - v_true).norm() < 1.0);
+        prop_assert!((kf.tracks()[0].velocity() - v_true).norm() < 1.5);
+    }
+
+    /// Passing intervals are always within the prediction horizon and
+    /// properly ordered.
+    #[test]
+    fn passing_intervals_well_formed(
+        speed in 0.5f64..20.0,
+        cx in -60.0f64..60.0, cy in -20.0f64..20.0, r in 0.5f64..10.0,
+    ) {
+        use erpd_geometry::Circle;
+        let cfg = PredictorConfig::default();
+        let t = predict_ctrv(ObjectId(1), ObjectKind::Vehicle, Vec2::ZERO, speed, 0.0, 0.0, 4.5, cfg);
+        for iv in t.passing_intervals(&Circle::new(Vec2::new(cx, cy), r)) {
+            prop_assert!(iv.start() >= -1e-9);
+            prop_assert!(iv.end() <= cfg.horizon + 1e-9);
+            prop_assert!(iv.length() >= 0.0);
+        }
+    }
+}

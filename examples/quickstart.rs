@@ -1,0 +1,46 @@
+//! Quickstart: run the paper's headline experiment once and print what
+//! happened.
+//!
+//! Builds the *unprotected left turn* scenario (40 vehicles, 30 % connected,
+//! 30 km/h), runs it under `Single` (no sharing) and under the paper's
+//! system (`Ours`), and prints the safety and bandwidth outcomes.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use erpd::edge::{run, RunConfig, Strategy};
+use erpd::sim::{ScenarioConfig, ScenarioKind};
+
+fn main() {
+    let scenario = ScenarioConfig {
+        kind: ScenarioKind::UnprotectedLeftTurn,
+        n_vehicles: 40,
+        connected_fraction: 0.3,
+        speed_kmh: 30.0,
+        seed: 42,
+        ..ScenarioConfig::default()
+    };
+
+    println!("scenario: unprotected left turn, 40 vehicles, 30% connected, 30 km/h\n");
+
+    for strategy in [Strategy::Single, Strategy::Ours] {
+        let result = run(RunConfig::new(strategy, scenario));
+        println!("--- {strategy:?} ---");
+        println!("  safe passage:        {}", result.safe_passage);
+        println!("  min distance:        {:.2} m", result.min_distance);
+        println!("  collisions in world: {}", result.total_collisions);
+        println!(
+            "  upload bandwidth:    {:.2} Mbit/s per connected vehicle",
+            result.upload_mbps_per_vehicle
+        );
+        println!(
+            "  dissemination:       {:.2} Mbit/s total",
+            result.dissemination_mbps
+        );
+        println!("  end-to-end latency:  {:.1} ms", result.latency_ms);
+        println!();
+    }
+
+    println!("expected: Single collides; Ours passes safely at a fraction of the bandwidth.");
+}

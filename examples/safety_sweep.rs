@@ -1,0 +1,43 @@
+//! Sweep driving speed and compare safe-passage rates across systems — a
+//! compact live version of the paper's Fig. 10(a) and Fig. 11.
+//!
+//! ```bash
+//! cargo run --release --example safety_sweep
+//! ```
+
+use erpd::edge::{run_seeds, RunConfig, Strategy};
+use erpd::sim::{ScenarioConfig, ScenarioKind};
+
+fn main() {
+    let seeds: Vec<u64> = (0..5).collect();
+    println!("unprotected left turn, 40 vehicles, 30% connected, {} seeds\n", seeds.len());
+    println!(
+        "{:>6} | {:>26} | {:>22}",
+        "km/h", "safe passage (%)", "min distance (m)"
+    );
+    println!(
+        "{:>6} | {:>8} {:>8} {:>8} | {:>10} {:>10}",
+        "", "Single", "EMP", "Ours", "EMP", "Ours"
+    );
+    for speed in [20.0, 30.0, 40.0] {
+        let scenario = ScenarioConfig {
+            kind: ScenarioKind::UnprotectedLeftTurn,
+            speed_kmh: speed,
+            ..ScenarioConfig::default()
+        };
+        let mut safe = Vec::new();
+        let mut dist = Vec::new();
+        for strategy in [Strategy::Single, Strategy::Emp, Strategy::Ours] {
+            let avg = run_seeds(RunConfig::new(strategy, scenario), &seeds);
+            safe.push(avg.safe_passage_rate * 100.0);
+            dist.push(avg.min_distance);
+        }
+        println!(
+            "{:>6.0} | {:>8.0} {:>8.0} {:>8.0} | {:>10.2} {:>10.2}",
+            speed, safe[0], safe[1], safe[2], dist[1], dist[2]
+        );
+    }
+    println!("\nexpected shape (paper Fig. 10a/11): Single always 0%; Ours stays near 100%");
+    println!("and keeps larger clearances; EMP degrades as speed grows because its");
+    println!("round-robin dissemination delivers the critical data too late.");
+}

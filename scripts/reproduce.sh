@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Reproduces the full evaluation: tests, every paper figure, micro-benches.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== building (release) =="
+cargo build --workspace --release
+
+echo "== test suite =="
+cargo test --workspace 2>&1 | tee test_output.txt
+
+echo "== regenerating every figure (CSVs in results/, tables in EXPERIMENTS.md) =="
+cargo run --release -p erpd-bench --bin experiments
+
+echo "== Criterion micro-benches =="
+cargo bench --workspace 2>&1 | tee bench_output.txt
+
+echo "done; see EXPERIMENTS.md, results/, test_output.txt, bench_output.txt"

@@ -1,0 +1,40 @@
+//! # ERPD — Edge-assisted Relevance-aware Perception Dissemination
+//!
+//! A full Rust reproduction of *"Edge-Assisted Relevance-Aware Perception
+//! Dissemination in Vehicular Networks"* (Wang & Cao, IEEE ICDCS 2024).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`geometry`] — vectors, poses, transforms, trajectories, intervals;
+//! * [`pointcloud`] — ground removal, DBSCAN, moving-object extraction,
+//!   merging, compression;
+//! * [`sim`] — the traffic + LiDAR simulator (CARLA substitute) with the
+//!   paper's conflict scenarios;
+//! * [`tracking`] — multi-object tracking, trajectory prediction, the
+//!   Rules 1–3 selection, and crowd clustering;
+//! * [`core`] — relevance estimation and the dissemination knapsack (the
+//!   paper's primary contribution);
+//! * [`edge`] — the edge server, network model, baselines, and evaluation
+//!   runners.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use erpd::edge::{run, RunConfig, Strategy};
+//! use erpd::sim::{ScenarioConfig, ScenarioKind};
+//!
+//! let result = run(RunConfig::new(
+//!     Strategy::Ours,
+//!     ScenarioConfig { kind: ScenarioKind::UnprotectedLeftTurn, ..Default::default() },
+//! ));
+//! println!("safe passage: {}", result.safe_passage);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use erpd_core as core;
+pub use erpd_edge as edge;
+pub use erpd_geometry as geometry;
+pub use erpd_pointcloud as pointcloud;
+pub use erpd_sim as sim;
+pub use erpd_tracking as tracking;

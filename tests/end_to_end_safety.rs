@@ -1,0 +1,99 @@
+//! Cross-crate integration: the paper's headline safety result, end to end
+//! through simulator → extraction → server → knapsack → alerts.
+
+use erpd::edge::{run, NetworkConfig, RunConfig, Strategy};
+use erpd::sim::{ScenarioConfig, ScenarioKind};
+
+fn scenario(kind: ScenarioKind, seed: u64, speed: f64) -> ScenarioConfig {
+    ScenarioConfig {
+        kind,
+        seed,
+        speed_kmh: speed,
+        ..ScenarioConfig::default()
+    }
+}
+
+#[test]
+fn single_always_collides_in_both_scenarios() {
+    for kind in [
+        ScenarioKind::UnprotectedLeftTurn,
+        ScenarioKind::RedLightViolation,
+    ] {
+        for seed in [0, 1] {
+            let r = run(RunConfig::new(Strategy::Single, scenario(kind, seed, 30.0)));
+            assert!(!r.safe_passage, "{kind:?} seed {seed} must collide");
+            assert_eq!(r.min_distance, 0.0);
+        }
+    }
+}
+
+#[test]
+fn ours_prevents_both_scenarios_at_30kmh() {
+    for kind in [
+        ScenarioKind::UnprotectedLeftTurn,
+        ScenarioKind::RedLightViolation,
+    ] {
+        let r = run(RunConfig::new(Strategy::Ours, scenario(kind, 0, 30.0)));
+        assert!(r.safe_passage, "{kind:?}: {r:?}");
+        assert!(r.min_distance > 0.5, "{kind:?}: min distance {}", r.min_distance);
+    }
+}
+
+#[test]
+fn ours_beats_emp_on_min_distance() {
+    let kind = ScenarioKind::UnprotectedLeftTurn;
+    let ours = run(RunConfig::new(Strategy::Ours, scenario(kind, 0, 30.0)));
+    let emp = run(RunConfig::new(Strategy::Emp, scenario(kind, 0, 30.0)));
+    // Fig 11 shape: with relevance-aware scheduling the ego is warned
+    // earlier, so the clearance is at least as large.
+    assert!(
+        ours.min_distance >= emp.min_distance - 0.5,
+        "ours {} vs emp {}",
+        ours.min_distance,
+        emp.min_distance
+    );
+}
+
+#[test]
+fn emp_degrades_under_tight_downlink() {
+    // Shrink the downlink so the round-robin rotation takes many frames to
+    // reach the critical pair; relevance-aware scheduling still fits it
+    // first.
+    let kind = ScenarioKind::UnprotectedLeftTurn;
+    let mut unsafe_emp = 0;
+    let mut unsafe_ours = 0;
+    for seed in [0, 1, 2] {
+        let mut rc_emp = RunConfig::new(Strategy::Emp, scenario(kind, seed, 40.0));
+        rc_emp.system.network = NetworkConfig {
+            downlink_bps: 4e6,
+            ..NetworkConfig::default()
+        };
+        let mut rc_ours = RunConfig::new(Strategy::Ours, scenario(kind, seed, 40.0));
+        rc_ours.system.network = rc_emp.system.network;
+        if !run(rc_emp).safe_passage {
+            unsafe_emp += 1;
+        }
+        if !run(rc_ours).safe_passage {
+            unsafe_ours += 1;
+        }
+    }
+    assert!(
+        unsafe_emp > unsafe_ours,
+        "EMP must fail more often under a tight budget: emp {unsafe_emp} vs ours {unsafe_ours}"
+    );
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let cfg = RunConfig::new(
+        Strategy::Ours,
+        scenario(ScenarioKind::RedLightViolation, 3, 30.0),
+    );
+    let a = run(cfg);
+    let b = run(cfg);
+    assert_eq!(a.safe_passage, b.safe_passage);
+    assert_eq!(a.min_distance, b.min_distance);
+    assert_eq!(a.total_collisions, b.total_collisions);
+    assert_eq!(a.upload_mbps_per_vehicle, b.upload_mbps_per_vehicle);
+    assert_eq!(a.dissemination_mbps, b.dissemination_mbps);
+}

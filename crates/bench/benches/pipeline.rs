@@ -11,12 +11,12 @@ fn bench_server(c: &mut Criterion) {
     group.sample_size(20);
     for pct in [20u32, 50] {
         // Build a warm scenario and capture a frame's uploads via System.
-        let mut s = Scenario::build(ScenarioConfig {
-            kind: ScenarioKind::RedLightViolation,
-            connected_fraction: pct as f64 / 100.0,
-            seed: 5,
-            ..ScenarioConfig::default()
-        });
+        let mut s = Scenario::build(
+            ScenarioConfig::default()
+                .with_kind(ScenarioKind::RedLightViolation)
+                .with_connected_fraction(pct as f64 / 100.0)
+                .with_seed(5),
+        );
         let mut sys = System::new(SystemConfig::new(Strategy::Ours), &s.world);
         for _ in 0..20 {
             sys.tick(&mut s.world);

@@ -1,0 +1,65 @@
+//! Criterion bench: frame throughput of the parallel pipeline as the
+//! number of uploading vehicles and the worker-thread count grow.
+//!
+//! The scenario keeps the paper's 40-vehicle cast and sweeps the connected
+//! fraction so that roughly 1, 2, 4, 8, and 16 vehicles upload per frame —
+//! the axis along which the vehicle-side extraction, the server's map
+//! merge, and the relevance assembly all fan out. Each point is then run
+//! at several worker counts via [`erpd_par::set_max_threads`]; the 1-thread
+//! row is the sequential baseline the speedup is measured against.
+//!
+//! ```bash
+//! cargo bench -p erpd-bench --bench pipeline_scaling
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use erpd_edge::{System, SystemConfig};
+use erpd_sim::{Scenario, ScenarioConfig, ScenarioKind};
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_scaling");
+    group.sample_size(10);
+
+    let hw = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut thread_counts = vec![1usize, 2, 4];
+    if hw > 4 {
+        thread_counts.push(hw);
+    }
+    thread_counts.dedup();
+
+    // connected_fraction → ~1/2/4/8/16 uploading vehicles out of 40.
+    for (n_connected, frac) in [(1u32, 0.025), (2, 0.05), (4, 0.1), (8, 0.2), (16, 0.4)] {
+        // Warm the scenario so tracks and extractors carry real state.
+        let mut s = Scenario::build(
+            ScenarioConfig::default()
+                .with_kind(ScenarioKind::RedLightViolation)
+                .with_connected_fraction(frac)
+                .with_seed(5),
+        );
+        let mut sys = System::new(SystemConfig::default(), &s.world);
+        for _ in 0..20 {
+            sys.tick(&mut s.world);
+            s.world.step();
+        }
+        for &threads in &thread_counts {
+            erpd_par::set_max_threads(threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("vehicles_{n_connected}"), threads),
+                &threads,
+                |b, _| {
+                    b.iter(|| {
+                        let mut world = s.world.clone();
+                        let mut system = System::new(SystemConfig::default(), &world);
+                        black_box(system.tick(&mut world))
+                    })
+                },
+            );
+        }
+    }
+    erpd_par::set_max_threads(0);
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -7,9 +7,10 @@
 
 use crate::{f1, f3, HarnessConfig, Table};
 use erpd_core::{
-    brute_force_knapsack, dp_knapsack, greedy_knapsack, KnapsackItem, RelevanceMode,
+    brute_force_knapsack, dp_knapsack, greedy_knapsack, KnapsackItem, RelevanceConfig,
+    RelevanceMode,
 };
-use erpd_edge::{run_seeds, RunConfig, Strategy};
+use erpd_edge::{run_seeds, RunConfig, ServerConfig, Strategy, SystemConfig};
 use erpd_sim::{ScenarioConfig, ScenarioKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -91,13 +92,12 @@ pub fn alpha_ablation(cfg: &HarnessConfig) -> Table {
         &["alpha", "safe_passage_pct", "total_collisions"],
     );
     for &alpha in &[0.2, 0.5, 0.8, 1.0] {
-        let scenario = ScenarioConfig {
-            kind: ScenarioKind::UnprotectedLeftTurn,
-            ..ScenarioConfig::default()
-        };
-        let mut rc = RunConfig::new(Strategy::Ours, scenario);
-        rc.duration = cfg.duration;
-        rc.system.server.alpha = alpha;
+        let scenario = ScenarioConfig::default().with_kind(ScenarioKind::UnprotectedLeftTurn);
+        let rc = RunConfig::new(Strategy::Ours, scenario)
+            .with_duration(cfg.duration)
+            .with_system(
+                SystemConfig::default().with_server(ServerConfig::default().with_alpha(alpha)),
+            );
         let avg = run_seeds(rc, &cfg.seeds);
         // Count collisions via a second aggregate: run_seeds already
         // averages safe passage; total collisions come from min-distance
@@ -123,13 +123,12 @@ pub fn relevance_mode_ablation(cfg: &HarnessConfig) -> Table {
         ("ttc_only", RelevanceMode::TtcOnly),
         ("gaussian", RelevanceMode::Gaussian),
     ] {
-        let scenario = ScenarioConfig {
-            kind: ScenarioKind::UnprotectedLeftTurn,
-            ..ScenarioConfig::default()
-        };
-        let mut rc = RunConfig::new(Strategy::Ours, scenario);
-        rc.duration = cfg.duration;
-        rc.system.server.relevance.mode = mode;
+        let scenario = ScenarioConfig::default().with_kind(ScenarioKind::UnprotectedLeftTurn);
+        let rc = RunConfig::new(Strategy::Ours, scenario)
+            .with_duration(cfg.duration)
+            .with_system(SystemConfig::default().with_server(
+                ServerConfig::default().with_relevance(RelevanceConfig::default().with_mode(mode)),
+            ));
         let avg = run_seeds(rc, &cfg.seeds);
         t.push_row(vec![
             name.into(),
@@ -154,12 +153,8 @@ pub fn v2v_comparison(cfg: &HarnessConfig) -> Table {
         ],
     );
     for (name, strategy) in [("Ours_edge", Strategy::Ours), ("V2V", Strategy::V2v)] {
-        let scenario = ScenarioConfig {
-            kind: ScenarioKind::UnprotectedLeftTurn,
-            ..ScenarioConfig::default()
-        };
-        let mut rc = RunConfig::new(strategy, scenario);
-        rc.duration = cfg.duration;
+        let scenario = ScenarioConfig::default().with_kind(ScenarioKind::UnprotectedLeftTurn);
+        let rc = RunConfig::new(strategy, scenario).with_duration(cfg.duration);
         let avg = run_seeds(rc, &cfg.seeds);
         t.push_row(vec![
             name.into(),
@@ -175,7 +170,7 @@ pub fn v2v_comparison(cfg: &HarnessConfig) -> Table {
 /// representatives instead of every object. Reports predicted-trajectory
 /// counts against the ground-truth object count per connectivity level.
 pub fn rules_reduction(cfg: &HarnessConfig) -> Table {
-    use erpd_edge::{Strategy, System, SystemConfig};
+    use erpd_edge::System;
     use erpd_sim::Scenario;
     let mut t = Table::new(
         "ablation_rules_reduction",
@@ -186,12 +181,12 @@ pub fn rules_reduction(cfg: &HarnessConfig) -> Table {
         let mut objects = 0.0;
         let mut frames = 0.0;
         for &seed in &cfg.seeds {
-            let mut s = Scenario::build(ScenarioConfig {
-                kind: ScenarioKind::UnprotectedLeftTurn,
-                connected_fraction: frac,
-                seed,
-                ..ScenarioConfig::default()
-            });
+            let mut s = Scenario::build(
+                ScenarioConfig::default()
+                    .with_kind(ScenarioKind::UnprotectedLeftTurn)
+                    .with_connected_fraction(frac)
+                    .with_seed(seed),
+            );
             let mut sys = System::new(SystemConfig::new(Strategy::Ours), &s.world);
             for _ in 0..40 {
                 let r = sys.tick(&mut s.world);

@@ -71,13 +71,10 @@ pub fn sweep(cfg: &HarnessConfig) -> BandwidthTables {
     let mut ours_at_lowest: Option<AveragedResult> = None;
     for &frac in &cfg.connectivity {
         for strategy in [Strategy::Ours, Strategy::Emp, Strategy::Unlimited] {
-            let scenario = ScenarioConfig {
-                kind: ScenarioKind::RedLightViolation,
-                connected_fraction: frac,
-                ..ScenarioConfig::default()
-            };
-            let mut rc = RunConfig::new(strategy, scenario);
-            rc.duration = cfg.duration;
+            let scenario = ScenarioConfig::default()
+                .with_kind(ScenarioKind::RedLightViolation)
+                .with_connected_fraction(frac);
+            let rc = RunConfig::new(strategy, scenario).with_duration(cfg.duration);
             let avg = run_seeds(rc, &cfg.seeds);
             let pct = f1(frac * 100.0);
             upload.push_row(vec![

@@ -39,14 +39,11 @@ fn point(
     speed_kmh: f64,
     connected_fraction: f64,
 ) -> AveragedResult {
-    let scenario = ScenarioConfig {
-        kind,
-        speed_kmh,
-        connected_fraction,
-        ..ScenarioConfig::default()
-    };
-    let mut rc = RunConfig::new(strategy, scenario);
-    rc.duration = cfg.duration;
+    let scenario = ScenarioConfig::default()
+        .with_kind(kind)
+        .with_speed_kmh(speed_kmh)
+        .with_connected_fraction(connected_fraction);
+    let rc = RunConfig::new(strategy, scenario).with_duration(cfg.duration);
     run_seeds(rc, &cfg.seeds)
 }
 

@@ -52,6 +52,7 @@ mod dissemination;
 mod following;
 mod knapsack;
 mod matrix;
+mod par;
 mod relevance;
 
 pub use dissemination::{

@@ -132,37 +132,52 @@ impl ObjectHypotheses {
 /// Hypothesis-aware relevance-matrix construction: like
 /// [`build_relevance_matrix`] but taking the max relevance over all
 /// trajectory-hypothesis combinations per pair.
+///
+/// Receiver rows are independent, so they are assembled on fork-join
+/// threads when the `parallel` feature is on — `visible` therefore has to
+/// be `Fn + Sync` rather than `FnMut`. Row contents and iteration order
+/// are identical to the sequential path at any thread count.
 pub fn build_relevance_matrix_multi(
     objects: &[ObjectHypotheses],
     receivers: &[ObjectId],
     followers: &[FollowerLink],
     alpha: f64,
     config: RelevanceConfig,
-    mut visible: impl FnMut(ObjectId, ObjectId) -> bool,
+    visible: impl Fn(ObjectId, ObjectId) -> bool + Sync,
 ) -> RelevanceMatrix {
-    let mut m = RelevanceMatrix::new();
     let receiver_set: std::collections::BTreeSet<ObjectId> = receivers.iter().copied().collect();
-
-    for recv in objects {
-        if !receiver_set.contains(&recv.object) {
-            continue;
-        }
-        for obj in objects {
-            if obj.object == recv.object || visible(recv.object, obj.object) {
-                continue;
-            }
-            let mut r = 0.0f64;
-            // Object side: body trajectories only. Receiver side: body
-            // trajectories plus the receiver-only extras.
-            for to in &obj.trajectories {
-                for tr in recv.trajectories.iter().chain(&recv.receiver_extra) {
-                    r = r.max(trajectory_relevance(to, tr, config).relevance);
+    let recvs: Vec<&ObjectHypotheses> = objects
+        .iter()
+        .filter(|recv| receiver_set.contains(&recv.object))
+        .collect();
+    let visible = &visible;
+    let rows: Vec<(ObjectId, Vec<(ObjectId, f64)>)> = crate::par::par_map(recvs, |recv| {
+        let row = objects
+            .iter()
+            .filter(|obj| obj.object != recv.object && !visible(recv.object, obj.object))
+            .map(|obj| {
+                let mut r = 0.0f64;
+                // Object side: body trajectories only. Receiver side: body
+                // trajectories plus the receiver-only extras.
+                for to in &obj.trajectories {
+                    for tr in recv.trajectories.iter().chain(&recv.receiver_extra) {
+                        r = r.max(trajectory_relevance(to, tr, config).relevance);
+                    }
                 }
-            }
-            m.set(recv.object, obj.object, r);
+                (obj.object, r)
+            })
+            .collect();
+        (recv.object, row)
+    });
+
+    let mut m = RelevanceMatrix::new();
+    for (receiver, row) in rows {
+        for (object, r) in row {
+            m.set(receiver, object, r);
         }
     }
-    propagate_followers(&mut m, followers, alpha, &receiver_set, &mut visible);
+    let mut visible_mut = |r, o| visible(r, o);
+    propagate_followers(&mut m, followers, alpha, &receiver_set, &mut visible_mut);
     m
 }
 

@@ -1,0 +1,17 @@
+//! Feature shim: ordered parallel map when the `parallel` feature is on,
+//! its drop-in sequential equivalent when it is off. Both produce
+//! identical results for deterministic per-item closures, which is what
+//! keeps the two build flavours bit-for-bit comparable.
+
+#[cfg(feature = "parallel")]
+pub(crate) use erpd_par::par_map;
+
+#[cfg(not(feature = "parallel"))]
+pub(crate) fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    items.into_iter().map(f).collect()
+}

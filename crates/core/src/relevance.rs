@@ -54,6 +54,20 @@ impl Default for RelevanceConfig {
     }
 }
 
+impl RelevanceConfig {
+    /// Returns the configuration with the prediction horizon `T` replaced.
+    pub fn with_horizon(mut self, horizon: f64) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Returns the configuration with the relevance definition replaced.
+    pub fn with_mode(mut self, mode: RelevanceMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
 /// Full accounting of one pairwise relevance computation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RelevanceBreakdown {

@@ -16,10 +16,10 @@
 //! use erpd_edge::{run, RunConfig, Strategy};
 //! use erpd_sim::{ScenarioConfig, ScenarioKind};
 //!
-//! let cfg = RunConfig::new(Strategy::Ours, ScenarioConfig {
-//!     kind: ScenarioKind::UnprotectedLeftTurn,
-//!     ..ScenarioConfig::default()
-//! });
+//! let cfg = RunConfig::new(
+//!     Strategy::Ours,
+//!     ScenarioConfig::default().with_kind(ScenarioKind::UnprotectedLeftTurn),
+//! );
 //! let result = run(cfg);
 //! assert!(result.safe_passage);
 //! ```
@@ -29,6 +29,7 @@
 
 mod metrics;
 mod network;
+mod par;
 mod server;
 mod system;
 mod upload;

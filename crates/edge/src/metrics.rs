@@ -20,14 +20,32 @@ pub struct RunConfig {
 impl RunConfig {
     /// A run with default system parameters.
     pub fn new(strategy: Strategy, scenario: ScenarioConfig) -> Self {
-        let mut system = SystemConfig::new(strategy);
-        system.strategy = strategy;
         RunConfig {
             strategy,
             scenario,
             duration: 15.0,
-            system,
+            system: SystemConfig::new(strategy),
         }
+    }
+
+    /// Returns the configuration with the scenario replaced.
+    pub fn with_scenario(mut self, scenario: ScenarioConfig) -> Self {
+        self.scenario = scenario;
+        self
+    }
+
+    /// Returns the configuration with the simulated duration replaced.
+    pub fn with_duration(mut self, duration: f64) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Returns the configuration with the system parameters replaced.
+    /// The run's strategy wins: `system.strategy` is overwritten so the
+    /// two cannot disagree.
+    pub fn with_system(mut self, system: SystemConfig) -> Self {
+        self.system = system.with_strategy(self.strategy);
+        self
     }
 }
 

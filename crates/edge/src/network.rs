@@ -37,6 +37,30 @@ impl Default for NetworkConfig {
 }
 
 impl NetworkConfig {
+    /// Returns the configuration with the per-vehicle uplink rate replaced.
+    pub fn with_uplink_bps(mut self, uplink_bps: f64) -> Self {
+        self.uplink_bps = uplink_bps;
+        self
+    }
+
+    /// Returns the configuration with the shared downlink rate replaced.
+    pub fn with_downlink_bps(mut self, downlink_bps: f64) -> Self {
+        self.downlink_bps = downlink_bps;
+        self
+    }
+
+    /// Returns the configuration with the one-way base latency replaced.
+    pub fn with_base_latency(mut self, base_latency: f64) -> Self {
+        self.base_latency = base_latency;
+        self
+    }
+
+    /// Returns the configuration with the LiDAR frame period replaced.
+    pub fn with_frame_period(mut self, frame_period: f64) -> Self {
+        self.frame_period = frame_period;
+        self
+    }
+
     /// Per-vehicle uplink budget per frame, bytes.
     pub fn uplink_budget_bytes(&self) -> u64 {
         (self.uplink_bps * self.frame_period / 8.0) as u64

@@ -61,6 +61,56 @@ impl Default for ServerConfig {
     }
 }
 
+impl ServerConfig {
+    /// Returns the configuration with the predictor parameters replaced.
+    pub fn with_predictor(mut self, predictor: PredictorConfig) -> Self {
+        self.predictor = predictor;
+        self
+    }
+
+    /// Returns the configuration with the relevance parameters replaced.
+    pub fn with_relevance(mut self, relevance: RelevanceConfig) -> Self {
+        self.relevance = relevance;
+        self
+    }
+
+    /// Returns the configuration with the follower decay α replaced.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Returns the configuration with the crowd thresholds replaced.
+    pub fn with_crowd(mut self, crowd: CrowdParams) -> Self {
+        self.crowd = crowd;
+        self
+    }
+
+    /// Returns the configuration with the traffic-map voxel size replaced.
+    pub fn with_voxel_size(mut self, voxel_size: f64) -> Self {
+        self.voxel_size = voxel_size;
+        self
+    }
+
+    /// Returns the configuration with the detection match radius replaced.
+    pub fn with_detection_match_radius(mut self, radius: f64) -> Self {
+        self.detection_match_radius = radius;
+        self
+    }
+
+    /// Returns the configuration with the self-report radius replaced.
+    pub fn with_self_report_radius(mut self, radius: f64) -> Self {
+        self.self_report_radius = radius;
+        self
+    }
+
+    /// Returns the configuration with the pedestrian extent replaced.
+    pub fn with_pedestrian_extent(mut self, extent: f64) -> Self {
+        self.pedestrian_extent = extent;
+        self
+    }
+}
+
 /// One merged, tracked object known to the server this frame.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DetectionSummary {
@@ -138,12 +188,21 @@ impl EdgeServer {
     pub fn process(&mut self, now: f64, uploads: &[Upload]) -> ServerFrame {
         let t_map = Instant::now();
 
-        // --- Traffic map: merge every uploaded cloud (voxel dedup). ---
-        let mut merger = PointCloudMerger::new(self.config.voxel_size);
-        for u in uploads {
+        // --- Traffic map: merge every uploaded cloud (voxel dedup). Each
+        // upload's clouds are voxelised on a worker, then the partial
+        // mergers are absorbed in upload order — occupied-voxel sets and
+        // counts match the sequential merge exactly. ---
+        let voxel_size = self.config.voxel_size;
+        let partials = crate::par::par_map(uploads.iter().collect(), |u: &Upload| {
+            let mut m = PointCloudMerger::new(voxel_size);
             for o in &u.objects {
-                merger.add(&o.points);
+                m.add(&o.points);
             }
+            m
+        });
+        let mut merger = PointCloudMerger::new(voxel_size);
+        for p in partials {
+            merger.absorb(p);
         }
         let map_points = merger.output_points();
 
@@ -294,28 +353,34 @@ impl EdgeServer {
             }
         }
         let receiver_set: std::collections::BTreeSet<ObjectId> = receivers.iter().copied().collect();
-        for id in &predicted_ids {
-            let Some(&(pos, speed, heading, turn_rate)) = kinematics.get(id) else {
-                continue;
-            };
+        let predicted_count = predicted_ids.len();
+        // Each object's hypothesis set depends only on shared read-only
+        // state (map, kinematics, lanes), so the predictions fan out across
+        // workers and come back in `predicted_ids` order.
+        let this = &*self;
+        let kin = &kinematics;
+        let lanes = &lane_by_id;
+        let recv_set = &receiver_set;
+        let predicted = crate::par::par_map(predicted_ids, |id| {
+            let &(pos, speed, heading, turn_rate) = kin.get(&id)?;
             // Body trajectories: where the object will actually be.
             let mut trajectories = vec![predict_ctrv(
-                *id,
+                id,
                 ObjectKind::Vehicle,
                 pos,
                 speed,
                 heading,
                 turn_rate,
                 4.5,
-                self.config.predictor,
+                this.config.predictor,
             )];
-            let lane = lane_by_id.get(id).copied().flatten();
-            let near_box = self.map.in_intersection(pos)
+            let lane = lanes.get(&id).copied().flatten();
+            let near_box = this.map.in_intersection(pos)
                 || lane.is_some_and(|l| l.distance_to_stop < 15.0);
             match lane {
-                Some(lane) => trajectories.extend(self.route_hypotheses(*id, pos, speed, &lane)),
+                Some(lane) => trajectories.extend(this.route_hypotheses(id, pos, speed, &lane)),
                 None if near_box => {
-                    trajectories.extend(self.route_hypotheses_unmapped(*id, pos, heading, speed))
+                    trajectories.extend(this.route_hypotheses_unmapped(id, pos, heading, speed))
                 }
                 None => {}
             }
@@ -325,23 +390,23 @@ impl EdgeServer {
             // it* while it waits. These hypotheses never make the waiting
             // vehicle itself look like a moving hazard to others.
             let mut receiver_extra = Vec::new();
-            if receiver_set.contains(id) && speed < 2.0 && near_box {
+            if recv_set.contains(&id) && speed < 2.0 && near_box {
                 let proceed = 5.0;
                 match lane {
                     Some(lane) => {
-                        receiver_extra.extend(self.route_hypotheses(*id, pos, proceed, &lane))
+                        receiver_extra.extend(this.route_hypotheses(id, pos, proceed, &lane))
                     }
-                    None => receiver_extra.extend(
-                        self.route_hypotheses_unmapped(*id, pos, heading, proceed),
-                    ),
+                    None => receiver_extra
+                        .extend(this.route_hypotheses_unmapped(id, pos, heading, proceed)),
                 }
             }
-            objects.push(ObjectHypotheses {
-                object: *id,
+            Some(ObjectHypotheses {
+                object: id,
                 trajectories,
                 receiver_extra,
-            });
-        }
+            })
+        });
+        objects.extend(predicted.into_iter().flatten());
         // Crowd representatives (Rule 3).
         for crowd in &selection.crowds {
             let rep = &selection.pedestrians[crowd.representative];
@@ -375,7 +440,7 @@ impl EdgeServer {
                 )));
             }
         }
-        let predicted_trajectories = predicted_ids.len() + selection.crowds.len();
+        let predicted_trajectories = predicted_count + selection.crowds.len();
 
         // --- Visibility from uploads: receiver r already perceives o if r
         // uploaded a cluster at o's position (paper §III-A). ---

@@ -18,6 +18,44 @@ pub const V2V_RANGE_M: f64 = 200.0;
 /// frame are not heard (the scalability wall AUTOCAST engineers around).
 pub const V2V_CHANNEL_BPS: f64 = 6e6;
 
+/// Internal routing derived from the public [`Strategy`]: which of the
+/// three pipeline shapes a tick takes, and — on the edge path — which
+/// planner builds the dissemination schedule. Deriving this once at
+/// construction replaces re-matching the full strategy enum (and its
+/// `unreachable!` arms) inside the frame loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dispatch {
+    /// No communication at all (the `Single` baseline).
+    Passive,
+    /// Vehicle→edge→receivers pipeline with the given planner.
+    Edge(PlanKind),
+    /// Serverless broadcasting with on-board fusion.
+    V2v,
+}
+
+/// Which dissemination planner the edge path runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PlanKind {
+    /// Relevance-greedy knapsack (ours).
+    Greedy,
+    /// Relevance-blind round robin (EMP).
+    RoundRobin,
+    /// Everything to everyone (the unlimited upper bound).
+    Broadcast,
+}
+
+impl Dispatch {
+    fn of(strategy: Strategy) -> Self {
+        match strategy {
+            Strategy::Single => Dispatch::Passive,
+            Strategy::Ours => Dispatch::Edge(PlanKind::Greedy),
+            Strategy::Emp => Dispatch::Edge(PlanKind::RoundRobin),
+            Strategy::Unlimited => Dispatch::Edge(PlanKind::Broadcast),
+            Strategy::V2v => Dispatch::V2v,
+        }
+    }
+}
+
 /// Per-module wall times for one frame (the Fig. 14b breakdown).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ModuleTimes {
@@ -97,20 +135,51 @@ impl SystemConfig {
             alert_threshold: 0.02,
         }
     }
+
+    /// Returns the configuration with the strategy replaced.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Returns the configuration with the network model replaced.
+    pub fn with_network(mut self, network: NetworkConfig) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Returns the configuration with the server parameters replaced.
+    pub fn with_server(mut self, server: ServerConfig) -> Self {
+        self.server = server;
+        self
+    }
+
+    /// Returns the configuration with the alert threshold replaced.
+    pub fn with_alert_threshold(mut self, alert_threshold: f64) -> Self {
+        self.alert_threshold = alert_threshold;
+        self
+    }
+}
+
+impl Default for SystemConfig {
+    /// The paper's system (`Strategy::Ours`) with default parameters.
+    fn default() -> Self {
+        SystemConfig::new(Strategy::Ours)
+    }
 }
 
 /// The running system: vehicle-side state plus the edge server.
 #[derive(Debug)]
 pub struct System {
     config: SystemConfig,
+    dispatch: Dispatch,
     vehicle_sides: BTreeMap<u64, VehicleSide>,
     server: EdgeServer,
     /// Receiver-local fusion state for the V2V strategy (one "server" per
     /// vehicle, running on board).
     v2v_servers: BTreeMap<u64, EdgeServer>,
     rr_offset: usize,
-    /// The last server frame (for inspection by tests and examples).
-    pub last_server_frame: ServerFrame,
+    last_server_frame: ServerFrame,
 }
 
 impl System {
@@ -118,6 +187,7 @@ impl System {
     pub fn new(config: SystemConfig, world: &World) -> Self {
         System {
             config,
+            dispatch: Dispatch::of(config.strategy),
             vehicle_sides: BTreeMap::new(),
             server: EdgeServer::new(config.server, world.map.clone()),
             v2v_servers: BTreeMap::new(),
@@ -131,13 +201,20 @@ impl System {
         self.config.strategy
     }
 
+    /// The last server frame (for inspection by tests and examples).
+    pub fn last_server_frame(&self) -> &ServerFrame {
+        &self.last_server_frame
+    }
+
     /// Runs one full frame: scans connected vehicles, processes uploads,
     /// runs the server, schedules dissemination, and delivers alerts to the
     /// world.
     pub fn tick(&mut self, world: &mut World) -> FrameReport {
-        if self.config.strategy == Strategy::Single {
-            return FrameReport::default();
-        }
+        let planner = match self.dispatch {
+            Dispatch::Passive => return FrameReport::default(),
+            Dispatch::V2v => None,
+            Dispatch::Edge(kind) => Some(kind),
+        };
         let network = self.config.network;
         let frames = world.scan_connected();
         let connected_positions: Vec<(u64, Vec2)> = frames
@@ -145,25 +222,40 @@ impl System {
             .map(|f| (f.vehicle_id, f.sensor_pose.position))
             .collect();
 
-        // --- Vehicle side. ---
-        let mut uploads: Vec<Upload> = Vec::new();
-        let mut extraction = 0.0f64;
-        let mut upload_tx = 0.0f64;
+        // --- Vehicle side: each vehicle's extraction is independent, so the
+        // scanned frames fan out across worker threads and the uploads come
+        // back in scan order (bit-identical to the sequential loop). The
+        // per-vehicle state is threaded through as `&mut` work items.
         for frame in &frames {
-            let side = self
-                .vehicle_sides
+            self.vehicle_sides
                 .entry(frame.vehicle_id)
                 .or_insert_with(|| VehicleSide::new(self.config.strategy, frame.sensor_height));
-            let u = side.process(frame, &connected_positions, &network);
+        }
+        let mut sides: BTreeMap<u64, &mut VehicleSide> = self
+            .vehicle_sides
+            .iter_mut()
+            .map(|(&id, s)| (id, s))
+            .collect();
+        let jobs: Vec<(_, &mut VehicleSide)> = frames
+            .iter()
+            .map(|f| (f, sides.remove(&f.vehicle_id).expect("inserted above")))
+            .collect();
+        drop(sides);
+        let connected = &connected_positions;
+        let uploads: Vec<Upload> = crate::par::par_map(jobs, |(frame, side)| {
+            side.process(frame, connected, &network)
+        });
+        let mut extraction = 0.0f64;
+        let mut upload_tx = 0.0f64;
+        for u in &uploads {
             extraction = extraction.max(u.processing_time);
             upload_tx = upload_tx.max(network.uplink_time(u.bytes));
-            uploads.push(u);
         }
         let upload_bytes: Vec<u64> = uploads.iter().map(|u| u.bytes).collect();
 
-        if self.config.strategy == Strategy::V2v {
+        let Some(kind) = planner else {
             return self.tick_v2v(world, uploads, upload_bytes, extraction);
-        }
+        };
 
         // --- Server side. ---
         let sf = self.server.process(world.time(), &uploads);
@@ -171,16 +263,15 @@ impl System {
         // --- Dissemination decision. ---
         let t0 = Instant::now();
         let budget = network.downlink_budget_bytes();
-        let plan: DisseminationPlan = match self.config.strategy {
-            Strategy::Ours => greedy_plan(&sf.matrix, &sf.sizes, budget),
-            Strategy::Emp => {
+        let plan: DisseminationPlan = match kind {
+            PlanKind::Greedy => greedy_plan(&sf.matrix, &sf.sizes, budget),
+            PlanKind::RoundRobin => {
                 let (plan, next) =
                     round_robin_plan(&sf.sizes, &sf.receivers, &sf.matrix, budget, self.rr_offset);
                 self.rr_offset = next;
                 plan
             }
-            Strategy::Unlimited => broadcast_plan(&sf.sizes, &sf.receivers, &sf.matrix),
-            Strategy::Single | Strategy::V2v => unreachable!("handled above"),
+            PlanKind::Broadcast => broadcast_plan(&sf.sizes, &sf.receivers, &sf.matrix),
         };
         let dissemination = t0.elapsed().as_secs_f64();
         let downlink_tx = if plan.total_bytes > 0 {
@@ -257,42 +348,60 @@ impl System {
         }
         let broadcast_tx = network.frame_period.min(spent as f64 * 8.0 / V2V_CHANNEL_BPS);
 
+        let now = world.time();
+        // Every receiver's on-board fusion is independent of the others, so
+        // the receivers fan out across worker threads; alerts and the
+        // deduplicated detection list are folded back in upload order, which
+        // keeps the result identical to the sequential loop.
+        for u in &uploads {
+            self.v2v_servers
+                .entry(u.vehicle_id)
+                .or_insert_with(|| EdgeServer::new(self.config.server, world.map.clone()));
+        }
+        let mut servers: BTreeMap<u64, &mut EdgeServer> = self
+            .v2v_servers
+            .iter_mut()
+            .map(|(&id, s)| (id, s))
+            .collect();
+        let jobs: Vec<(&Upload, &mut EdgeServer)> = uploads
+            .iter()
+            .map(|u| (u, servers.remove(&u.vehicle_id).expect("inserted above")))
+            .collect();
+        drop(servers);
+        let heard = &heard;
+        let alert_threshold = self.config.alert_threshold;
+        let fused: Vec<(u64, bool, ServerFrame)> =
+            crate::par::par_map(jobs, |(me, server)| {
+                let rid = me.vehicle_id;
+                // What this vehicle fuses: its own data (always available on
+                // board, no channel involved) plus in-range broadcasts.
+                let mut local: Vec<Upload> = vec![me.clone()];
+                local.extend(
+                    heard
+                        .iter()
+                        .filter(|u| {
+                            u.vehicle_id != rid
+                                && u.pose.position.distance(me.pose.position) <= V2V_RANGE_M
+                        })
+                        .map(|u| (*u).clone()),
+                );
+                let sf = server.process(now, &local);
+                // On-board relevance: alert the own driver only.
+                let relevant = sf
+                    .matrix
+                    .row(ObjectId(rid))
+                    .iter()
+                    .any(|&(_, r)| r >= alert_threshold);
+                (rid, relevant, sf)
+            });
+
         let mut alerted = Vec::new();
         let mut detected_positions: Vec<Vec2> = Vec::new();
         let mut map_build = 0.0f64;
         let mut prediction = 0.0f64;
         let mut predicted = 0usize;
         let mut last_frame = ServerFrame::default();
-        let now = world.time();
-        let receiver_ids: Vec<u64> = uploads.iter().map(|u| u.vehicle_id).collect();
-        for &rid in &receiver_ids {
-            let me = uploads
-                .iter()
-                .find(|u| u.vehicle_id == rid)
-                .expect("receiver uploaded this frame");
-            // What this vehicle fuses: its own data (always available on
-            // board, no channel involved) plus in-range broadcasts.
-            let mut local: Vec<Upload> = vec![me.clone()];
-            local.extend(
-                heard
-                    .iter()
-                    .filter(|u| {
-                        u.vehicle_id != rid
-                            && u.pose.position.distance(me.pose.position) <= V2V_RANGE_M
-                    })
-                    .map(|u| (*u).clone()),
-            );
-            let server = self
-                .v2v_servers
-                .entry(rid)
-                .or_insert_with(|| EdgeServer::new(self.config.server, world.map.clone()));
-            let sf = server.process(now, &local);
-            // On-board relevance: alert the own driver only.
-            let relevant = sf
-                .matrix
-                .row(ObjectId(rid))
-                .iter()
-                .any(|&(_, r)| r >= self.config.alert_threshold);
+        for (rid, relevant, sf) in fused {
             if relevant {
                 world.alert(rid);
                 alerted.push(rid);

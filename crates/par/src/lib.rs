@@ -1,0 +1,177 @@
+//! Deterministic fork-join data parallelism on std threads.
+//!
+//! A tiny, dependency-free substitute for rayon's ordered `par_iter`:
+//! [`par_map`] splits a work list into contiguous chunks, runs the chunks
+//! on scoped threads, and concatenates the per-chunk results in input
+//! order. The output is therefore **identical to the sequential `map`**
+//! regardless of the thread count — every item is processed exactly once,
+//! by a pure-per-item closure, and result order never depends on thread
+//! scheduling.
+//!
+//! The worker-thread count is a process-wide runtime setting: it defaults
+//! to the machine's available parallelism (overridable once via the
+//! `ERPD_THREADS` environment variable) and can be changed at any time
+//! with [`set_max_threads`]. Differential tests pin it to 1 and N and
+//! assert bit-identical pipeline outputs; benchmarks sweep it without
+//! rebuilding.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = erpd_par::par_map(vec![1u64, 2, 3, 4], |x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// `0` means "use the default"; any other value is an explicit override.
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("ERPD_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// The number of worker threads [`par_map`] may use.
+///
+/// Defaults to `ERPD_THREADS` when set to a positive integer, otherwise to
+/// the machine's available parallelism.
+pub fn max_threads() -> usize {
+    match MAX_THREADS.load(Ordering::Relaxed) {
+        0 => default_threads(),
+        n => n,
+    }
+}
+
+/// Overrides the worker-thread count process-wide.
+///
+/// `1` forces sequential execution inside [`par_map`]; `0` restores the
+/// default (see [`max_threads`]).
+pub fn set_max_threads(n: usize) {
+    MAX_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Maps `f` over `items` on up to [`max_threads`] scoped threads,
+/// returning results in input order.
+///
+/// Items are dealt out as contiguous chunks (within one item of equal
+/// size), so `par_map(v, f)` is observably identical to
+/// `v.into_iter().map(f).collect()` whenever `f` is deterministic per
+/// item. A panic in `f` propagates to the caller.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = max_threads().min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let n = items.len();
+    let base = n / threads;
+    let extra = n % threads;
+    let mut rest = items;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    for i in 0..threads {
+        let take = base + usize::from(i < extra);
+        let tail = rest.split_off(take);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serialises tests that touch the process-wide thread-count override.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn preserves_input_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let out = par_map(input.clone(), |x| x * 2);
+        assert_eq!(out, input.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_at_every_thread_count() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        let input: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = input.iter().map(|x| x.wrapping_mul(0x9E3779B9)).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            set_max_threads(threads);
+            let got = par_map(input.clone(), |x| x.wrapping_mul(0x9E3779B9));
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(par_map(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(par_map(vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn mutable_items_flow_through() {
+        // The per-vehicle pipeline hands each worker exclusive &mut state.
+        let mut states = vec![0u64; 16];
+        let refs: Vec<(&mut u64, u64)> = states.iter_mut().zip(0..).collect();
+        let out = par_map(refs, |(s, i)| {
+            *s = i * i;
+            *s
+        });
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<u64>>());
+        assert_eq!(states, (0..16).map(|i| i * i).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_max_threads(32);
+        let out = par_map(vec![1, 2, 3], |x| x);
+        assert_eq!(out, vec![1, 2, 3]);
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn override_roundtrip() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_max_threads(3);
+        assert_eq!(max_threads(), 3);
+        set_max_threads(0);
+        assert!(max_threads() >= 1);
+    }
+}

@@ -96,6 +96,38 @@ impl PointCloudMerger {
         }
     }
 
+    /// Folds another merger (built with the same voxel size) into this one,
+    /// as if its input clouds had been [`add`](Self::add)ed here.
+    ///
+    /// Occupied-voxel sets and counts are exactly those of the equivalent
+    /// sequential merge; within-voxel centroids may differ in the last few
+    /// bits because floating-point summation is regrouped. Used to combine
+    /// per-upload partial merges built on parallel workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the voxel sizes differ.
+    pub fn absorb(&mut self, other: PointCloudMerger) {
+        assert!(
+            self.voxel_size == other.voxel_size,
+            "cannot absorb a merger with a different voxel size"
+        );
+        self.input_points += other.input_points;
+        for k in other.order {
+            let (sum, n) = other.voxels[&k];
+            match self.voxels.get_mut(&k) {
+                Some((s, m)) => {
+                    *s += sum;
+                    *m += n;
+                }
+                None => {
+                    self.voxels.insert(k, (sum, n));
+                    self.order.push(k);
+                }
+            }
+        }
+    }
+
     /// Finishes the merge, producing one centroid point per occupied voxel
     /// in first-seen order (deterministic output).
     pub fn finish(self) -> PointCloud {
@@ -172,6 +204,43 @@ mod tests {
         assert_eq!(m1, m2);
         // First-seen order is preserved.
         assert_eq!(m1.points()[0].x, 3.0);
+    }
+
+    #[test]
+    fn absorb_matches_sequential_merge() {
+        let a = PointCloud::from_points(vec![
+            Vec3::new(0.1, 0.1, 0.1),
+            Vec3::new(5.0, 0.0, 0.0),
+        ]);
+        let b = PointCloud::from_points(vec![
+            Vec3::new(0.2, 0.2, 0.2), // shares a's first voxel
+            Vec3::new(0.0, 5.0, 0.0),
+        ]);
+        let mut sequential = PointCloudMerger::new(0.5);
+        sequential.add(&a);
+        sequential.add(&b);
+
+        let mut left = PointCloudMerger::new(0.5);
+        left.add(&a);
+        let mut right = PointCloudMerger::new(0.5);
+        right.add(&b);
+        left.absorb(right);
+
+        assert_eq!(left.input_points(), sequential.input_points());
+        assert_eq!(left.output_points(), sequential.output_points());
+        let s = sequential.finish();
+        let l = left.finish();
+        assert_eq!(l.len(), s.len());
+        for (x, y) in l.iter().zip(&s) {
+            assert!((*x - *y).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different voxel size")]
+    fn absorb_rejects_mismatched_voxel_size() {
+        let mut a = PointCloudMerger::new(0.5);
+        a.absorb(PointCloudMerger::new(0.4));
     }
 
     #[test]

@@ -61,6 +61,50 @@ impl Default for ScenarioConfig {
     }
 }
 
+impl ScenarioConfig {
+    /// Returns the configuration with the scripted conflict replaced.
+    pub fn with_kind(mut self, kind: ScenarioKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Returns the configuration with the vehicle count replaced.
+    pub fn with_n_vehicles(mut self, n_vehicles: usize) -> Self {
+        self.n_vehicles = n_vehicles;
+        self
+    }
+
+    /// Returns the configuration with the connected fraction replaced.
+    pub fn with_connected_fraction(mut self, connected_fraction: f64) -> Self {
+        self.connected_fraction = connected_fraction;
+        self
+    }
+
+    /// Returns the configuration with the cruise speed replaced.
+    pub fn with_speed_kmh(mut self, speed_kmh: f64) -> Self {
+        self.speed_kmh = speed_kmh;
+        self
+    }
+
+    /// Returns the configuration with the pedestrian count replaced.
+    pub fn with_n_pedestrians(mut self, n_pedestrians: usize) -> Self {
+        self.n_pedestrians = n_pedestrians;
+        self
+    }
+
+    /// Returns the configuration with the RNG seed replaced.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the configuration with the time to conflict replaced.
+    pub fn with_time_to_conflict(mut self, time_to_conflict: f64) -> Self {
+        self.time_to_conflict = time_to_conflict;
+        self
+    }
+}
+
 /// A built scenario: the world plus the ids the evaluation tracks.
 #[derive(Debug, Clone)]
 pub struct Scenario {

@@ -7,13 +7,14 @@ use erpd_tracking::{
     ObjectKind, Pedestrian, PredictorConfig, Tracker, TrackerConfig,
 };
 use proptest::prelude::*;
+use std::f64::consts::PI;
 
 fn ped_strategy() -> impl Strategy<Value = Pedestrian> {
     (
         0u64..1000,
         -30.0f64..30.0,
         -30.0f64..30.0,
-        -3.14f64..3.14,
+        -PI..PI,
         0.5f64..2.0,
     )
         .prop_map(|(id, x, y, o, v)| Pedestrian {
@@ -59,7 +60,7 @@ proptest! {
     #[test]
     fn prediction_respects_kinematics(
         x in -50.0f64..50.0, y in -50.0f64..50.0,
-        speed in 0.0f64..20.0, heading in -3.14f64..3.14, omega in -0.5f64..0.5,
+        speed in 0.0f64..20.0, heading in -PI..PI, omega in -0.5f64..0.5,
     ) {
         let cfg = PredictorConfig::default();
         let t = predict_ctrv(ObjectId(1), ObjectKind::Vehicle, Vec2::new(x, y), speed, heading, omega, 4.5, cfg);

@@ -6,8 +6,7 @@
 //! cargo run --release --example bandwidth_sweep
 //! ```
 
-use erpd::edge::{run, RunConfig, Strategy};
-use erpd::sim::{ScenarioConfig, ScenarioKind};
+use erpd::prelude::*;
 
 fn main() {
     println!("red-light violation, 40 vehicles, 30 km/h, seed 7\n");
@@ -20,12 +19,10 @@ fn main() {
         "", "Ours", "EMP", "Unltd", "Ours", "EMP", "Unltd"
     );
     for percent in [20, 30, 40, 50] {
-        let scenario = ScenarioConfig {
-            kind: ScenarioKind::RedLightViolation,
-            connected_fraction: percent as f64 / 100.0,
-            seed: 7,
-            ..ScenarioConfig::default()
-        };
+        let scenario = ScenarioConfig::default()
+            .with_kind(ScenarioKind::RedLightViolation)
+            .with_connected_fraction(percent as f64 / 100.0)
+            .with_seed(7);
         let mut up = Vec::new();
         let mut down = Vec::new();
         for strategy in [Strategy::Ours, Strategy::Emp, Strategy::Unlimited] {

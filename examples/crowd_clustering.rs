@@ -5,10 +5,7 @@
 //! cargo run --release --example crowd_clustering
 //! ```
 
-use erpd::geometry::Vec2;
-use erpd::tracking::{
-    cluster_crowds, cluster_dbscan, mean_final_deviation, CrowdParams, ObjectId, Pedestrian,
-};
+use erpd::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::f64::consts::PI;

@@ -10,15 +10,14 @@
 //! cargo run --release --example occluded_pedestrian
 //! ```
 
-use erpd::edge::{Strategy, System, SystemConfig};
-use erpd::sim::{Scenario, ScenarioConfig, ScenarioKind};
+use erpd::prelude::*;
 
 fn main() {
-    let mut s = Scenario::build(ScenarioConfig {
-        kind: ScenarioKind::OccludedPedestrian,
-        speed_kmh: 30.0,
-        ..ScenarioConfig::default()
-    });
+    let mut s = Scenario::build(
+        ScenarioConfig::default()
+            .with_kind(ScenarioKind::OccludedPedestrian)
+            .with_speed_kmh(30.0),
+    );
     let mut system = System::new(SystemConfig::new(Strategy::Ours), &s.world);
     let bystander = s.bystander.expect("demo casts vehicle A");
 

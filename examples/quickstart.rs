@@ -9,18 +9,15 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use erpd::edge::{run, RunConfig, Strategy};
-use erpd::sim::{ScenarioConfig, ScenarioKind};
+use erpd::prelude::*;
 
 fn main() {
-    let scenario = ScenarioConfig {
-        kind: ScenarioKind::UnprotectedLeftTurn,
-        n_vehicles: 40,
-        connected_fraction: 0.3,
-        speed_kmh: 30.0,
-        seed: 42,
-        ..ScenarioConfig::default()
-    };
+    let scenario = ScenarioConfig::default()
+        .with_kind(ScenarioKind::UnprotectedLeftTurn)
+        .with_n_vehicles(40)
+        .with_connected_fraction(0.3)
+        .with_speed_kmh(30.0)
+        .with_seed(42);
 
     println!("scenario: unprotected left turn, 40 vehicles, 30% connected, 30 km/h\n");
 

@@ -5,8 +5,7 @@
 //! cargo run --release --example safety_sweep
 //! ```
 
-use erpd::edge::{run_seeds, RunConfig, Strategy};
-use erpd::sim::{ScenarioConfig, ScenarioKind};
+use erpd::prelude::*;
 
 fn main() {
     let seeds: Vec<u64> = (0..5).collect();
@@ -20,11 +19,9 @@ fn main() {
         "", "Single", "EMP", "Ours", "EMP", "Ours"
     );
     for speed in [20.0, 30.0, 40.0] {
-        let scenario = ScenarioConfig {
-            kind: ScenarioKind::UnprotectedLeftTurn,
-            speed_kmh: speed,
-            ..ScenarioConfig::default()
-        };
+        let scenario = ScenarioConfig::default()
+            .with_kind(ScenarioKind::UnprotectedLeftTurn)
+            .with_speed_kmh(speed);
         let mut safe = Vec::new();
         let mut dist = Vec::new();
         for strategy in [Strategy::Single, Strategy::Emp, Strategy::Ours] {

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Local CI: exactly what a PR must pass, in the order a failure is cheapest.
+#
+#   scripts/ci.sh            # build + tests + clippy
+#   scripts/ci.sh --quick    # skip clippy (e.g. while iterating)
+#
+# The tier-1 gate is the first two steps; clippy is kept at -D warnings so
+# lint debt cannot accumulate.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) quick=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+if [ "$quick" -eq 0 ]; then
+    echo "==> cargo clippy --all-targets -- -D warnings"
+    cargo clippy --all-targets -- -D warnings
+fi
+
+echo "ok"

@@ -15,26 +15,71 @@
 //! * [`core`] — relevance estimation and the dissemination knapsack (the
 //!   paper's primary contribution);
 //! * [`edge`] — the edge server, network model, baselines, and evaluation
-//!   runners.
+//!   runners;
+//! * [`par`] — the deterministic fork-join runtime behind the `parallel`
+//!   feature (thread-count control for benchmarks and differential tests).
+//!
+//! Most programs only need the [`prelude`].
 //!
 //! # Quickstart
 //!
 //! ```no_run
-//! use erpd::edge::{run, RunConfig, Strategy};
-//! use erpd::sim::{ScenarioConfig, ScenarioKind};
+//! use erpd::prelude::*;
 //!
-//! let result = run(RunConfig::new(
-//!     Strategy::Ours,
-//!     ScenarioConfig { kind: ScenarioKind::UnprotectedLeftTurn, ..Default::default() },
-//! ));
+//! let scenario = ScenarioConfig::default().with_kind(ScenarioKind::UnprotectedLeftTurn);
+//! let result = run(RunConfig::new(Strategy::Ours, scenario));
 //! println!("safe passage: {}", result.safe_passage);
 //! ```
+//!
+//! # Features
+//!
+//! * `parallel` (default) — data-parallel frame pipeline: the per-vehicle
+//!   extraction, the edge server's map merge and trajectory prediction,
+//!   the per-receiver relevance assembly, and the V2V per-receiver fusion
+//!   all run on [`par`]'s fork-join threads. Outputs are bit-for-bit
+//!   identical to the sequential build; see DESIGN.md §"Threading model".
 
 #![warn(missing_docs)]
 
 pub use erpd_core as core;
 pub use erpd_edge as edge;
 pub use erpd_geometry as geometry;
+pub use erpd_par as par;
 pub use erpd_pointcloud as pointcloud;
 pub use erpd_sim as sim;
 pub use erpd_tracking as tracking;
+
+/// The names almost every ERPD program needs, re-exported from one place.
+///
+/// ```no_run
+/// use erpd::prelude::*;
+///
+/// let cfg = RunConfig::new(
+///     Strategy::Ours,
+///     ScenarioConfig::default().with_kind(ScenarioKind::RedLightViolation),
+/// );
+/// let result = run(cfg);
+/// assert!(result.safe_passage);
+/// ```
+pub mod prelude {
+    pub use erpd_core::{
+        broadcast_plan, build_relevance_matrix, build_relevance_matrix_multi, greedy_plan,
+        optimal_plan, round_robin_plan, Assignment, DisseminationPlan, ObjectHypotheses,
+        RelevanceConfig, RelevanceMatrix, RelevanceMode,
+    };
+    pub use erpd_edge::{
+        run, run_seeds, AveragedResult, EdgeServer, FrameReport, ModuleTimes, ModuleTimesMs,
+        NetworkConfig, RunConfig, RunResult, ServerConfig, ServerFrame, Strategy, System,
+        SystemConfig, TRACK_ID_BASE,
+    };
+    pub use erpd_geometry::{Transform3, Vec2, Vec3};
+    pub use erpd_par::{max_threads, set_max_threads};
+    pub use erpd_pointcloud::{
+        compress, decompress, ExtractionConfig, GroundFilter, MovingObjectExtractor, PointCloud,
+    };
+    pub use erpd_sim::{Scenario, ScenarioConfig, ScenarioKind, World};
+    pub use erpd_tracking::{
+        cluster_crowds, cluster_dbscan, mean_final_deviation, CrowdParams, ObjectId, ObjectKind,
+        Pedestrian, PredictorConfig,
+    };
+}

@@ -1,11 +1,12 @@
 //! Property-based tests of the dissemination layer across crates: plans
 //! are always feasible, relevance-sorted, and consistent with the matrix.
 
-use erpd::core::{
-    broadcast_plan, greedy_plan, optimal_plan, round_robin_plan, RelevanceMatrix,
-};
-use erpd::tracking::ObjectId;
+use erpd::prelude::*;
 use proptest::prelude::*;
+// Pin the name: both preludes export a `Strategy` (erpd's enum, proptest's
+// trait); the explicit import resolves the glob-glob ambiguity in favour of
+// the trait this file actually uses.
+use proptest::strategy::Strategy;
 use std::collections::BTreeMap;
 
 fn arbitrary_problem() -> impl Strategy<Value = (RelevanceMatrix, BTreeMap<ObjectId, u64>, Vec<ObjectId>)> {

@@ -1,16 +1,13 @@
 //! Cross-crate integration: the paper's headline safety result, end to end
 //! through simulator → extraction → server → knapsack → alerts.
 
-use erpd::edge::{run, NetworkConfig, RunConfig, Strategy};
-use erpd::sim::{ScenarioConfig, ScenarioKind};
+use erpd::prelude::*;
 
 fn scenario(kind: ScenarioKind, seed: u64, speed: f64) -> ScenarioConfig {
-    ScenarioConfig {
-        kind,
-        seed,
-        speed_kmh: speed,
-        ..ScenarioConfig::default()
-    }
+    ScenarioConfig::default()
+        .with_kind(kind)
+        .with_seed(seed)
+        .with_speed_kmh(speed)
 }
 
 #[test]
@@ -62,14 +59,13 @@ fn emp_degrades_under_tight_downlink() {
     let kind = ScenarioKind::UnprotectedLeftTurn;
     let mut unsafe_emp = 0;
     let mut unsafe_ours = 0;
+    let tight = SystemConfig::default()
+        .with_network(NetworkConfig::default().with_downlink_bps(4e6));
     for seed in [0, 1, 2] {
-        let mut rc_emp = RunConfig::new(Strategy::Emp, scenario(kind, seed, 40.0));
-        rc_emp.system.network = NetworkConfig {
-            downlink_bps: 4e6,
-            ..NetworkConfig::default()
-        };
-        let mut rc_ours = RunConfig::new(Strategy::Ours, scenario(kind, seed, 40.0));
-        rc_ours.system.network = rc_emp.system.network;
+        let rc_emp =
+            RunConfig::new(Strategy::Emp, scenario(kind, seed, 40.0)).with_system(tight);
+        let rc_ours =
+            RunConfig::new(Strategy::Ours, scenario(kind, seed, 40.0)).with_system(tight);
         if !run(rc_emp).safe_passage {
             unsafe_emp += 1;
         }

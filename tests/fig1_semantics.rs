@@ -3,16 +3,14 @@
 //! and must be disseminated to it, while the left-turning vehicle `A` never
 //! receives it.
 
-use erpd::edge::{Strategy, System, SystemConfig, TRACK_ID_BASE};
-use erpd::sim::{Scenario, ScenarioConfig, ScenarioKind};
-use erpd::tracking::ObjectId;
+use erpd::prelude::*;
 
 fn demo() -> Scenario {
-    Scenario::build(ScenarioConfig {
-        kind: ScenarioKind::OccludedPedestrian,
-        speed_kmh: 30.0,
-        ..ScenarioConfig::default()
-    })
+    Scenario::build(
+        ScenarioConfig::default()
+            .with_kind(ScenarioKind::OccludedPedestrian)
+            .with_speed_kmh(30.0),
+    )
 }
 
 #[test]
@@ -25,7 +23,7 @@ fn pedestrian_disseminated_to_b_but_not_a() {
     let mut a_got_ped_committed = false;
     for _ in 0..160 {
         sys.tick(&mut s.world);
-        let sf = &sys.last_server_frame;
+        let sf = sys.last_server_frame();
         // Find the server's id for the pedestrian (a tracked detection).
         if let Some(ped) = s.world.pedestrian(s.hazard) {
             if let Some(ped_id) = sf.object_near(ped.position(), 3.0) {

@@ -1,0 +1,61 @@
+//! Differential test of the `parallel` feature: the same seeded scenario
+//! stepped with one worker thread and with several must produce identical
+//! frame reports, field for field — only the `times` block (wall clock) is
+//! exempt. This is the contract that lets the parallel pipeline replace
+//! the sequential one without re-validating any figure.
+
+use erpd::prelude::*;
+
+fn run_reports(strategy: Strategy, threads: usize, frames: usize) -> Vec<FrameReport> {
+    set_max_threads(threads);
+    let mut s = Scenario::build(
+        ScenarioConfig::default()
+            .with_kind(ScenarioKind::UnprotectedLeftTurn)
+            .with_n_vehicles(24)
+            .with_seed(5),
+    );
+    let mut sys = System::new(SystemConfig::new(strategy), &s.world);
+    let mut reports = Vec::with_capacity(frames);
+    for _ in 0..frames {
+        reports.push(sys.tick(&mut s.world));
+        s.world.step();
+    }
+    reports
+}
+
+fn assert_reports_identical(base: &[FrameReport], wide: &[FrameReport]) {
+    assert_eq!(base.len(), wide.len());
+    for (k, (a, b)) in base.iter().zip(wide).enumerate() {
+        assert_eq!(a.upload_bytes, b.upload_bytes, "frame {k}: upload bytes");
+        assert_eq!(
+            a.dissemination_bytes, b.dissemination_bytes,
+            "frame {k}: dissemination bytes"
+        );
+        assert_eq!(a.assignments, b.assignments, "frame {k}: assignments");
+        assert_eq!(a.alerted, b.alerted, "frame {k}: alerted receivers");
+        assert_eq!(
+            a.detected_positions, b.detected_positions,
+            "frame {k}: detected positions"
+        );
+        assert_eq!(
+            a.predicted_trajectories, b.predicted_trajectories,
+            "frame {k}: predicted trajectories"
+        );
+    }
+}
+
+// One #[test] covers both strategies: the thread-count override is process
+// wide, so sequential use within a single test cannot race the harness.
+#[test]
+fn thread_count_never_changes_the_reports() {
+    let edge_base = run_reports(Strategy::Ours, 1, 40);
+    let edge_wide = run_reports(Strategy::Ours, 4, 40);
+    assert_reports_identical(&edge_base, &edge_wide);
+
+    let v2v_base = run_reports(Strategy::V2v, 1, 20);
+    let v2v_wide = run_reports(Strategy::V2v, 4, 20);
+    assert_reports_identical(&v2v_base, &v2v_wide);
+
+    set_max_threads(0); // restore the default for the rest of the binary
+    assert!(max_threads() >= 1);
+}

@@ -2,21 +2,17 @@
 //! simulated LiDAR frames → ground removal → coordinate transformation →
 //! moving-object extraction, checked against simulator ground truth.
 
-use erpd::geometry::{Transform3, Vec2};
-use erpd::pointcloud::{
-    compress, decompress, ExtractionConfig, GroundFilter, MovingObjectExtractor,
-};
-use erpd::sim::{Scenario, ScenarioConfig, ScenarioKind};
+use erpd::prelude::*;
 
 #[test]
 fn extraction_recovers_moving_objects_from_simulated_frames() {
-    let mut s = Scenario::build(ScenarioConfig {
-        kind: ScenarioKind::UnprotectedLeftTurn,
-        n_vehicles: 20,
-        n_pedestrians: 6,
-        seed: 9,
-        ..ScenarioConfig::default()
-    });
+    let mut s = Scenario::build(
+        ScenarioConfig::default()
+            .with_kind(ScenarioKind::UnprotectedLeftTurn)
+            .with_n_vehicles(20)
+            .with_n_pedestrians(6)
+            .with_seed(9),
+    );
     let ego = s.ego;
     let filter = GroundFilter::new(1.8, 0.1);
     let mut extractor = MovingObjectExtractor::new(ExtractionConfig::default());
@@ -63,12 +59,12 @@ fn extraction_recovers_moving_objects_from_simulated_frames() {
 
 #[test]
 fn extracted_upload_survives_compression_round_trip() {
-    let s = Scenario::build(ScenarioConfig {
-        kind: ScenarioKind::RedLightViolation,
-        n_vehicles: 16,
-        seed: 3,
-        ..ScenarioConfig::default()
-    });
+    let s = Scenario::build(
+        ScenarioConfig::default()
+            .with_kind(ScenarioKind::RedLightViolation)
+            .with_n_vehicles(16)
+            .with_seed(3),
+    );
     let frame = s.world.scan_vehicle(s.ego).unwrap();
     let cloud = frame.full_cloud();
     let bytes = compress(&cloud);
@@ -83,12 +79,12 @@ fn extracted_upload_survives_compression_round_trip() {
 
 #[test]
 fn static_trucks_are_never_uploaded_but_emp_style_raw_includes_them() {
-    let mut s = Scenario::build(ScenarioConfig {
-        kind: ScenarioKind::RedLightViolation,
-        n_vehicles: 16,
-        seed: 3,
-        ..ScenarioConfig::default()
-    });
+    let mut s = Scenario::build(
+        ScenarioConfig::default()
+            .with_kind(ScenarioKind::RedLightViolation)
+            .with_n_vehicles(16)
+            .with_seed(3),
+    );
     // Find a connected vehicle that can see a parked truck.
     let truck_positions: Vec<Vec2> = s
         .world

@@ -19,14 +19,14 @@ fn bench_server(c: &mut Criterion) {
         );
         let mut sys = System::new(SystemConfig::new(Strategy::Ours), &s.world);
         for _ in 0..20 {
-            sys.tick(&mut s.world);
+            sys.tick(&mut s.world).unwrap();
             s.world.step();
         }
         group.bench_with_input(BenchmarkId::new("full_tick", pct), &pct, |b, _| {
             b.iter(|| {
                 let mut world = s.world.clone();
                 let mut system = System::new(SystemConfig::new(Strategy::Ours), &world);
-                black_box(system.tick(&mut world))
+                black_box(system.tick(&mut world).unwrap())
             })
         });
     }

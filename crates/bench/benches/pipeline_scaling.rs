@@ -39,7 +39,7 @@ fn bench_scaling(c: &mut Criterion) {
         );
         let mut sys = System::new(SystemConfig::default(), &s.world);
         for _ in 0..20 {
-            sys.tick(&mut s.world);
+            sys.tick(&mut s.world).unwrap();
             s.world.step();
         }
         for &threads in &thread_counts {
@@ -51,7 +51,7 @@ fn bench_scaling(c: &mut Criterion) {
                     b.iter(|| {
                         let mut world = s.world.clone();
                         let mut system = System::new(SystemConfig::default(), &world);
-                        black_box(system.tick(&mut world))
+                        black_box(system.tick(&mut world).unwrap())
                     })
                 },
             );

@@ -10,7 +10,7 @@ use erpd_core::{
     brute_force_knapsack, dp_knapsack, greedy_knapsack, KnapsackItem, RelevanceConfig,
     RelevanceMode,
 };
-use erpd_edge::{run_seeds, RunConfig, ServerConfig, Strategy, SystemConfig};
+use erpd_edge::{run_seeds, Error, RunConfig, ServerConfig, Strategy, SystemConfig};
 use erpd_sim::{ScenarioConfig, ScenarioKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -86,7 +86,7 @@ pub fn knapsack_exactness_check(seed: u64) -> bool {
 }
 
 /// The follower decay factor α: rear-end safety as α varies.
-pub fn alpha_ablation(cfg: &HarnessConfig) -> Table {
+pub fn alpha_ablation(cfg: &HarnessConfig) -> Result<Table, Error> {
     let mut t = Table::new(
         "ablation_alpha_sweep",
         &["alpha", "safe_passage_pct", "total_collisions"],
@@ -98,7 +98,7 @@ pub fn alpha_ablation(cfg: &HarnessConfig) -> Table {
             .with_system(
                 SystemConfig::default().with_server(ServerConfig::default().with_alpha(alpha)),
             );
-        let avg = run_seeds(rc, &cfg.seeds);
+        let avg = run_seeds(rc, &cfg.seeds)?;
         // Count collisions via a second aggregate: run_seeds already
         // averages safe passage; total collisions come from min-distance
         // proxy (0 distance means the pair crashed).
@@ -108,11 +108,11 @@ pub fn alpha_ablation(cfg: &HarnessConfig) -> Table {
             f3(avg.min_distance),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// The relevance definition: combined vs. single-term vs. Gaussian.
-pub fn relevance_mode_ablation(cfg: &HarnessConfig) -> Table {
+pub fn relevance_mode_ablation(cfg: &HarnessConfig) -> Result<Table, Error> {
     let mut t = Table::new(
         "ablation_relevance_mode",
         &["mode", "safe_passage_pct", "dissemination_mbps"],
@@ -129,20 +129,20 @@ pub fn relevance_mode_ablation(cfg: &HarnessConfig) -> Table {
             .with_system(SystemConfig::default().with_server(
                 ServerConfig::default().with_relevance(RelevanceConfig::default().with_mode(mode)),
             ));
-        let avg = run_seeds(rc, &cfg.seeds);
+        let avg = run_seeds(rc, &cfg.seeds)?;
         t.push_row(vec![
             name.into(),
             f1(avg.safe_passage_rate * 100.0),
             f3(avg.dissemination_mbps),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Edge-assisted vs. infrastructure-less sharing: the V2V extension
 /// (AUTOCAST-style broadcasts, no edge server) against the paper's system,
 /// on safety and channel usage.
-pub fn v2v_comparison(cfg: &HarnessConfig) -> Table {
+pub fn v2v_comparison(cfg: &HarnessConfig) -> Result<Table, Error> {
     let mut t = Table::new(
         "ablation_v2v_vs_edge",
         &[
@@ -155,7 +155,7 @@ pub fn v2v_comparison(cfg: &HarnessConfig) -> Table {
     for (name, strategy) in [("Ours_edge", Strategy::Ours), ("V2V", Strategy::V2v)] {
         let scenario = ScenarioConfig::default().with_kind(ScenarioKind::UnprotectedLeftTurn);
         let rc = RunConfig::new(strategy, scenario).with_duration(cfg.duration);
-        let avg = run_seeds(rc, &cfg.seeds);
+        let avg = run_seeds(rc, &cfg.seeds)?;
         t.push_row(vec![
             name.into(),
             f1(avg.safe_passage_rate * 100.0),
@@ -163,13 +163,13 @@ pub fn v2v_comparison(cfg: &HarnessConfig) -> Table {
             f3(avg.dissemination_mbps),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// The scalability claim of paper §II-D: Rules 1–3 track a handful of
 /// representatives instead of every object. Reports predicted-trajectory
 /// counts against the ground-truth object count per connectivity level.
-pub fn rules_reduction(cfg: &HarnessConfig) -> Table {
+pub fn rules_reduction(cfg: &HarnessConfig) -> Result<Table, Error> {
     use erpd_edge::System;
     use erpd_sim::Scenario;
     let mut t = Table::new(
@@ -189,7 +189,7 @@ pub fn rules_reduction(cfg: &HarnessConfig) -> Table {
             );
             let mut sys = System::new(SystemConfig::new(Strategy::Ours), &s.world);
             for _ in 0..40 {
-                let r = sys.tick(&mut s.world);
+                let r = sys.tick(&mut s.world)?;
                 s.world.step();
                 predicted += r.predicted_trajectories as f64;
                 objects +=
@@ -203,7 +203,7 @@ pub fn rules_reduction(cfg: &HarnessConfig) -> Table {
             f1(predicted / frames),
         ]);
     }
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -215,7 +215,7 @@ mod tests {
         let mut cfg = HarnessConfig::quick();
         cfg.seeds = vec![0];
         cfg.connectivity = vec![0.3];
-        let t = rules_reduction(&cfg);
+        let t = rules_reduction(&cfg).unwrap();
         let objects: f64 = t.rows[0][1].parse().unwrap();
         let predicted: f64 = t.rows[0][2].parse().unwrap();
         assert!(
@@ -263,7 +263,7 @@ mod tests {
     fn combined_mode_is_safe() {
         let mut cfg = HarnessConfig::quick();
         cfg.seeds = vec![0];
-        let t = relevance_mode_ablation(&cfg);
+        let t = relevance_mode_ablation(&cfg).unwrap();
         let combined = t.rows.iter().find(|r| r[0] == "combined").unwrap();
         assert_eq!(combined[1], "100.0");
     }

@@ -6,7 +6,7 @@
 //! them together.
 
 use crate::{f1, f3, HarnessConfig, Table};
-use erpd_edge::{run_seeds, AveragedResult, RunConfig, Strategy};
+use erpd_edge::{run_seeds, AveragedResult, Error, RunConfig, Strategy};
 use erpd_sim::{ScenarioConfig, ScenarioKind};
 
 fn strategy_name(s: Strategy) -> &'static str {
@@ -49,7 +49,7 @@ impl BandwidthTables {
 
 /// Runs the connectivity sweep behind Figs. 12–14 on the red-light
 /// scenario (the one whose waiting trucks exercise static-object removal).
-pub fn sweep(cfg: &HarnessConfig) -> BandwidthTables {
+pub fn sweep(cfg: &HarnessConfig) -> Result<BandwidthTables, Error> {
     let mut upload = Table::new(
         "fig12a_upload_bandwidth",
         &["connected_pct", "strategy", "upload_mbps_per_vehicle"],
@@ -75,7 +75,7 @@ pub fn sweep(cfg: &HarnessConfig) -> BandwidthTables {
                 .with_kind(ScenarioKind::RedLightViolation)
                 .with_connected_fraction(frac);
             let rc = RunConfig::new(strategy, scenario).with_duration(cfg.duration);
-            let avg = run_seeds(rc, &cfg.seeds);
+            let avg = run_seeds(rc, &cfg.seeds)?;
             let pct = f1(frac * 100.0);
             upload.push_row(vec![
                 pct.clone(),
@@ -115,13 +115,13 @@ pub fn sweep(cfg: &HarnessConfig) -> BandwidthTables {
         }
     }
 
-    BandwidthTables {
+    Ok(BandwidthTables {
         upload,
         detected,
         dissemination,
         latency,
         breakdown,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -142,7 +142,7 @@ mod tests {
         let mut cfg = HarnessConfig::quick();
         cfg.seeds = vec![0];
         cfg.connectivity = vec![0.2];
-        let t = sweep(&cfg);
+        let t = sweep(&cfg).unwrap();
 
         // Fig 12a shape: Ours < EMP < Unlimited.
         let up_ours = cell(&t.upload, "20.0", "Ours", 2);

@@ -9,10 +9,11 @@
 //! CSVs land in `results/`; the regenerated series are printed as markdown.
 
 use erpd_bench::{ablation, bandwidth, fig04, safety, HarnessConfig, Table};
+use erpd_edge::Error;
 use std::path::PathBuf;
 use std::time::Instant;
 
-fn main() {
+fn main() -> Result<(), Error> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let selected: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
@@ -30,23 +31,27 @@ fn main() {
     if want("fig10") || want("fig11") {
         eprintln!("[fig10a/fig11] safety & distance vs speed ({} points) ...",
                   2 * cfg.speeds_kmh.len() * 4 * cfg.seeds.len());
-        let (safety_t, distance_t) = safety::sweep_speed(&cfg);
+        let (safety_t, distance_t) = safety::sweep_speed(&cfg)?;
         tables.push(safety_t);
         tables.push(distance_t);
         eprintln!("[fig10b] safety vs connectivity ...");
-        tables.push(safety::sweep_connectivity(&cfg));
+        tables.push(safety::sweep_connectivity(&cfg)?);
+    }
+    if want("faults") {
+        eprintln!("[faults] safety & staleness vs upload loss ...");
+        tables.push(safety::sweep_loss(&cfg)?);
     }
     if want("fig12") || want("fig13") || want("fig14") {
         eprintln!("[fig12/13/14] bandwidth & latency sweep ...");
-        tables.extend(bandwidth::sweep(&cfg).into_vec());
+        tables.extend(bandwidth::sweep(&cfg)?.into_vec());
     }
     if want("ablation") {
         eprintln!("[ablation] knapsack / alpha / relevance-mode ...");
         tables.push(ablation::knapsack_ablation(&cfg));
-        tables.push(ablation::alpha_ablation(&cfg));
-        tables.push(ablation::relevance_mode_ablation(&cfg));
-        tables.push(ablation::rules_reduction(&cfg));
-        tables.push(ablation::v2v_comparison(&cfg));
+        tables.push(ablation::alpha_ablation(&cfg)?);
+        tables.push(ablation::relevance_mode_ablation(&cfg)?);
+        tables.push(ablation::rules_reduction(&cfg)?);
+        tables.push(ablation::v2v_comparison(&cfg)?);
     }
 
     for table in &tables {
@@ -62,6 +67,7 @@ fn main() {
         t_start.elapsed().as_secs_f64(),
         results.display()
     );
+    Ok(())
 }
 
 /// Injects the regenerated tables into EXPERIMENTS.md between its

@@ -1,0 +1,86 @@
+//! The unified error type of the ERPD pipeline.
+//!
+//! Every fallible stage — matrix assembly, the edge server's frame
+//! processing, `System::tick`, the run-level evaluators — reports through
+//! this one enum so callers match on a single type regardless of which
+//! layer failed.
+
+use erpd_tracking::ObjectId;
+use std::fmt;
+
+/// Everything that can go wrong inside the ERPD pipeline.
+///
+/// The pipeline is deterministic and numeric, so the failure modes are
+/// few: a non-finite value escaping into the relevance matrix, internal
+/// per-vehicle state going missing, or a configuration knob outside its
+/// admissible range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Error {
+    /// A relevance value was NaN or infinite; storing it would poison the
+    /// dissemination knapsack's greedy ordering.
+    NonFiniteRelevance {
+        /// The receiver whose row was being assembled.
+        receiver: ObjectId,
+        /// The perception object being scored.
+        object: ObjectId,
+        /// The offending value.
+        value: f64,
+    },
+    /// Per-vehicle pipeline state vanished for a vehicle that was scanned
+    /// this frame — an internal invariant violation, not a user error.
+    MissingVehicleState(u64),
+    /// A configuration field was outside its admissible range.
+    InvalidConfig {
+        /// The field, as `Type::field`.
+        field: &'static str,
+        /// What the field must satisfy.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NonFiniteRelevance { receiver, object, value } => write!(
+                f,
+                "non-finite relevance {value} for (receiver {}, object {})",
+                receiver.0, object.0
+            ),
+            Error::MissingVehicleState(id) => {
+                write!(f, "internal state missing for vehicle {id}")
+            }
+            Error::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration: {field} {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = Error::NonFiniteRelevance {
+            receiver: ObjectId(1),
+            object: ObjectId(2),
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("receiver 1"));
+        assert!(Error::MissingVehicleState(7).to_string().contains("7"));
+        let c = Error::InvalidConfig {
+            field: "FaultModel::loss_prob",
+            reason: "must be within [0, 1]",
+        };
+        assert!(c.to_string().contains("loss_prob"));
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(Error::MissingVehicleState(0));
+    }
+}

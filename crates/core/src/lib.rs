@@ -39,7 +39,7 @@
 //!     alpha: erpd_core::DEFAULT_ALPHA,
 //!     config: RelevanceConfig::default(),
 //! };
-//! let matrix = build_relevance_matrix(&inputs, |_, _| false); // mutual occlusion
+//! let matrix = build_relevance_matrix(&inputs, |_, _| false).unwrap(); // mutual occlusion
 //! let sizes = BTreeMap::from([(ObjectId(1), 4000u64), (ObjectId(2), 4000u64)]);
 //! let plan = greedy_plan(&matrix, &sizes, 10_000);
 //! assert_eq!(plan.assignments.len(), 2); // each learns about the other
@@ -49,6 +49,7 @@
 #![warn(missing_debug_implementations)]
 
 mod dissemination;
+mod error;
 mod following;
 mod knapsack;
 mod matrix;
@@ -58,6 +59,7 @@ mod relevance;
 pub use dissemination::{
     broadcast_plan, greedy_plan, optimal_plan, round_robin_plan, Assignment, DisseminationPlan,
 };
+pub use error::Error;
 pub use following::{
     follower_at_risk, follower_relevance, pipes_safe_distance, satisfies_gipps, satisfies_pipes,
     DEFAULT_ALPHA, GIPPS_TIME_GAP,

@@ -2,7 +2,7 @@
 //! trajectories, visibility, and car-following links.
 
 use crate::{
-    follower_at_risk, follower_relevance, trajectory_relevance, RelevanceConfig,
+    follower_at_risk, follower_relevance, trajectory_relevance, Error, RelevanceConfig,
 };
 use erpd_tracking::{FollowerLink, ObjectId, PredictedTrajectory};
 use std::collections::BTreeMap;
@@ -30,6 +30,26 @@ impl RelevanceMatrix {
         } else {
             self.entries.remove(&(receiver, object));
         }
+    }
+
+    /// Like [`RelevanceMatrix::set`] but rejects NaN and infinite values
+    /// instead of silently storing (or dropping) them — the checked entry
+    /// point the matrix builders use.
+    pub fn try_set(
+        &mut self,
+        receiver: ObjectId,
+        object: ObjectId,
+        relevance: f64,
+    ) -> Result<(), Error> {
+        if !relevance.is_finite() {
+            return Err(Error::NonFiniteRelevance {
+                receiver,
+                object,
+                value: relevance,
+            });
+        }
+        self.set(receiver, object, relevance);
+        Ok(())
     }
 
     /// The relevance of `object`'s perception data to `receiver` (0 when
@@ -107,6 +127,11 @@ pub struct ObjectHypotheses {
     /// waiting to cross: crossing traffic stays relevant to it even though
     /// its body is momentarily stationary. Empty for most objects.
     pub receiver_extra: Vec<PredictedTrajectory>,
+    /// Seconds since this object's perception data was last observed.
+    /// `0.0` for freshly observed objects; positive for coasted tracks
+    /// whose source vehicle missed its upload. Feeds the staleness
+    /// discount of [`RelevanceConfig::staleness_discount`].
+    pub age: f64,
 }
 
 impl ObjectHypotheses {
@@ -116,6 +141,7 @@ impl ObjectHypotheses {
             object: trajectory.object,
             trajectories: vec![trajectory],
             receiver_extra: Vec::new(),
+            age: 0.0,
         }
     }
 
@@ -125,18 +151,32 @@ impl ObjectHypotheses {
             object,
             trajectories,
             receiver_extra: Vec::new(),
+            age: 0.0,
         }
+    }
+
+    /// Returns the hypotheses with the observation age replaced.
+    pub fn with_age(mut self, age: f64) -> Self {
+        self.age = age;
+        self
     }
 }
 
 /// Hypothesis-aware relevance-matrix construction: like
 /// [`build_relevance_matrix`] but taking the max relevance over all
-/// trajectory-hypothesis combinations per pair.
+/// trajectory-hypothesis combinations per pair, and applying the
+/// staleness discount of [`RelevanceConfig::staleness_discount`] to
+/// objects with a positive observation age.
 ///
 /// Receiver rows are independent, so they are assembled on fork-join
 /// threads when the `parallel` feature is on — `visible` therefore has to
 /// be `Fn + Sync` rather than `FnMut`. Row contents and iteration order
 /// are identical to the sequential path at any thread count.
+///
+/// # Errors
+///
+/// [`Error::NonFiniteRelevance`] if any pairwise relevance evaluates to
+/// NaN or infinity (degenerate trajectory inputs).
 pub fn build_relevance_matrix_multi(
     objects: &[ObjectHypotheses],
     receivers: &[ObjectId],
@@ -144,7 +184,7 @@ pub fn build_relevance_matrix_multi(
     alpha: f64,
     config: RelevanceConfig,
     visible: impl Fn(ObjectId, ObjectId) -> bool + Sync,
-) -> RelevanceMatrix {
+) -> Result<RelevanceMatrix, Error> {
     let receiver_set: std::collections::BTreeSet<ObjectId> = receivers.iter().copied().collect();
     let recvs: Vec<&ObjectHypotheses> = objects
         .iter()
@@ -164,7 +204,10 @@ pub fn build_relevance_matrix_multi(
                         r = r.max(trajectory_relevance(to, tr, config).relevance);
                     }
                 }
-                (obj.object, r)
+                // Stale (coasted) perception data is worth less: the
+                // discount is exactly 1.0 for fresh objects, keeping the
+                // zero-fault pipeline bit-identical.
+                (obj.object, r * config.staleness_discount(obj.age))
             })
             .collect();
         (recv.object, row)
@@ -173,12 +216,12 @@ pub fn build_relevance_matrix_multi(
     let mut m = RelevanceMatrix::new();
     for (receiver, row) in rows {
         for (object, r) in row {
-            m.set(receiver, object, r);
+            m.try_set(receiver, object, r)?;
         }
     }
     let mut visible_mut = |r, o| visible(r, o);
-    propagate_followers(&mut m, followers, alpha, &receiver_set, &mut visible_mut);
-    m
+    propagate_followers(&mut m, followers, alpha, &receiver_set, &mut visible_mut)?;
+    Ok(m)
 }
 
 fn propagate_followers(
@@ -187,7 +230,7 @@ fn propagate_followers(
     alpha: f64,
     receiver_set: &std::collections::BTreeSet<ObjectId>,
     visible: &mut impl FnMut(ObjectId, ObjectId) -> bool,
-) {
+) -> Result<(), Error> {
     for link in followers {
         if !receiver_set.contains(&link.follower) || !follower_at_risk(link) {
             continue;
@@ -198,10 +241,11 @@ fn propagate_followers(
             }
             let r = follower_relevance(leader_r, alpha, 1);
             if r > m.get(link.follower, object) {
-                m.set(link.follower, object, r);
+                m.try_set(link.follower, object, r)?;
             }
         }
     }
+    Ok(())
 }
 
 /// Builds the relevance matrix of paper §III-A.
@@ -211,10 +255,15 @@ fn propagate_followers(
 /// unnecessary to disseminate the perception data related to those
 /// objects"). Follower propagation assigns `α^depth · R_leader` to
 /// followers that violate a car-following criterion.
+///
+/// # Errors
+///
+/// [`Error::NonFiniteRelevance`] if any pairwise relevance evaluates to
+/// NaN or infinity (degenerate trajectory inputs).
 pub fn build_relevance_matrix(
     inputs: &RelevanceInputs<'_>,
     mut visible: impl FnMut(ObjectId, ObjectId) -> bool,
-) -> RelevanceMatrix {
+) -> Result<RelevanceMatrix, Error> {
     let mut m = RelevanceMatrix::new();
     let receiver_set: std::collections::BTreeSet<ObjectId> =
         inputs.receivers.iter().copied().collect();
@@ -229,14 +278,14 @@ pub fn build_relevance_matrix(
                 continue;
             }
             let r = trajectory_relevance(obj, recv, inputs.config).relevance;
-            m.set(recv.object, obj.object, r);
+            m.try_set(recv.object, obj.object, r)?;
         }
     }
 
     // Follower propagation: links arrive leader-first per lane, so the
     // immediate leader's row (possibly itself propagated) is already final.
-    propagate_followers(&mut m, inputs.followers, inputs.alpha, &receiver_set, &mut visible);
-    m
+    propagate_followers(&mut m, inputs.followers, inputs.alpha, &receiver_set, &mut visible)?;
+    Ok(m)
 }
 
 #[cfg(test)]
@@ -293,7 +342,7 @@ mod tests {
             alpha: DEFAULT_ALPHA,
             config: RelevanceConfig::default(),
         };
-        let m = build_relevance_matrix(&inputs, |_, _| false);
+        let m = build_relevance_matrix(&inputs, |_, _| false).unwrap();
         assert!(m.get(ObjectId(1), ObjectId(2)) > 0.5);
         assert!(m.get(ObjectId(2), ObjectId(1)) > 0.5);
         // Never self-relevant.
@@ -312,7 +361,8 @@ mod tests {
             config: RelevanceConfig::default(),
         };
         // Vehicle 1 already sees vehicle 2 (but not vice versa).
-        let m = build_relevance_matrix(&inputs, |r, o| r == ObjectId(1) && o == ObjectId(2));
+        let m =
+            build_relevance_matrix(&inputs, |r, o| r == ObjectId(1) && o == ObjectId(2)).unwrap();
         assert_eq!(m.get(ObjectId(1), ObjectId(2)), 0.0);
         assert!(m.get(ObjectId(2), ObjectId(1)) > 0.5);
     }
@@ -328,7 +378,7 @@ mod tests {
             alpha: DEFAULT_ALPHA,
             config: RelevanceConfig::default(),
         };
-        let m = build_relevance_matrix(&inputs, |_, _| false);
+        let m = build_relevance_matrix(&inputs, |_, _| false).unwrap();
         assert!(m.row(ObjectId(1)).is_empty());
         assert!(!m.row(ObjectId(2)).is_empty());
     }
@@ -354,7 +404,7 @@ mod tests {
             alpha: DEFAULT_ALPHA,
             config: RelevanceConfig::default(),
         };
-        let m = build_relevance_matrix(&inputs, |_, _| false);
+        let m = build_relevance_matrix(&inputs, |_, _| false).unwrap();
         let leader_r = m.get(ObjectId(1), ObjectId(2));
         let follower_r = m.get(ObjectId(3), ObjectId(2));
         assert!(leader_r > 0.0);
@@ -381,7 +431,7 @@ mod tests {
             alpha: DEFAULT_ALPHA,
             config: RelevanceConfig::default(),
         };
-        let m = build_relevance_matrix(&inputs, |_, _| false);
+        let m = build_relevance_matrix(&inputs, |_, _| false).unwrap();
         assert_eq!(m.get(ObjectId(3), ObjectId(2)), 0.0);
     }
 
@@ -414,7 +464,7 @@ mod tests {
             alpha: DEFAULT_ALPHA,
             config: RelevanceConfig::default(),
         };
-        let m = build_relevance_matrix(&inputs, |_, _| false);
+        let m = build_relevance_matrix(&inputs, |_, _| false).unwrap();
         let r1 = m.get(ObjectId(1), ObjectId(2));
         let r3 = m.get(ObjectId(3), ObjectId(2));
         let r4 = m.get(ObjectId(4), ObjectId(2));
@@ -441,7 +491,8 @@ mod tests {
             alpha: DEFAULT_ALPHA,
             config: RelevanceConfig::default(),
         };
-        let m = build_relevance_matrix(&inputs, |r, o| r == ObjectId(3) && o == ObjectId(2));
+        let m =
+            build_relevance_matrix(&inputs, |r, o| r == ObjectId(3) && o == ObjectId(2)).unwrap();
         assert_eq!(m.get(ObjectId(3), ObjectId(2)), 0.0);
     }
 
@@ -479,7 +530,8 @@ mod tests {
             DEFAULT_ALPHA,
             RelevanceConfig::default(),
             |_, _| false,
-        );
+        )
+        .unwrap();
         let multi = m.get(ObjectId(2), ObjectId(1));
         // Equals the single-hypothesis relevance of the conflicting path.
         let single_inputs = RelevanceInputs {
@@ -489,7 +541,9 @@ mod tests {
             alpha: DEFAULT_ALPHA,
             config: RelevanceConfig::default(),
         };
-        let single = build_relevance_matrix(&single_inputs, |_, _| false).get(ObjectId(2), ObjectId(1));
+        let single = build_relevance_matrix(&single_inputs, |_, _| false)
+            .unwrap()
+            .get(ObjectId(2), ObjectId(1));
         assert!(multi > 0.0);
         assert!((multi - single).abs() < 1e-12);
         // With only the right-turn hypothesis the pair is irrelevant.
@@ -504,8 +558,68 @@ mod tests {
             DEFAULT_ALPHA,
             RelevanceConfig::default(),
             |_, _| false,
-        );
+        )
+        .unwrap();
         assert_eq!(m_rt.get(ObjectId(2), ObjectId(1)), 0.0);
+    }
+
+    #[test]
+    fn try_set_rejects_non_finite_values() {
+        let mut m = RelevanceMatrix::new();
+        m.try_set(ObjectId(1), ObjectId(2), 0.4).unwrap();
+        assert_eq!(m.get(ObjectId(1), ObjectId(2)), 0.4);
+        let err = m.try_set(ObjectId(1), ObjectId(3), f64::NAN).unwrap_err();
+        assert!(matches!(err, Error::NonFiniteRelevance { .. }));
+        assert!(m
+            .try_set(ObjectId(1), ObjectId(3), f64::INFINITY)
+            .is_err());
+        // The matrix is untouched by rejected writes.
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn stale_objects_are_discounted() {
+        let trajs = crossing_pair();
+        let receivers = [ObjectId(1), ObjectId(2)];
+        let cfg = RelevanceConfig::default().with_staleness_decay(0.5);
+        let age = 1.2;
+        let fresh = vec![
+            ObjectHypotheses::single(trajs[0].clone()),
+            ObjectHypotheses::single(trajs[1].clone()),
+        ];
+        let stale = vec![
+            ObjectHypotheses::single(trajs[0].clone()).with_age(age),
+            ObjectHypotheses::single(trajs[1].clone()),
+        ];
+        let m_fresh =
+            build_relevance_matrix_multi(&fresh, &receivers, &[], DEFAULT_ALPHA, cfg, |_, _| false)
+                .unwrap();
+        let m_stale =
+            build_relevance_matrix_multi(&stale, &receivers, &[], DEFAULT_ALPHA, cfg, |_, _| false)
+                .unwrap();
+        let r_fresh = m_fresh.get(ObjectId(2), ObjectId(1));
+        let r_stale = m_stale.get(ObjectId(2), ObjectId(1));
+        assert!(r_fresh > 0.0);
+        assert!(
+            (r_stale - r_fresh * (-0.5f64 * age).exp()).abs() < 1e-12,
+            "stale {r_stale} vs fresh {r_fresh}"
+        );
+        // Object 2 is fresh in both matrices: its rows agree exactly.
+        assert_eq!(
+            m_fresh.get(ObjectId(1), ObjectId(2)),
+            m_stale.get(ObjectId(1), ObjectId(2))
+        );
+        // With decay disabled, age has no effect at all.
+        let m_off = build_relevance_matrix_multi(
+            &stale,
+            &receivers,
+            &[],
+            DEFAULT_ALPHA,
+            RelevanceConfig::default(),
+            |_, _| false,
+        )
+        .unwrap();
+        assert_eq!(m_off.get(ObjectId(2), ObjectId(1)), r_fresh);
     }
 
     #[test]

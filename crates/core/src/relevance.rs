@@ -43,6 +43,11 @@ pub struct RelevanceConfig {
     pub horizon: f64,
     /// Which relevance definition to use.
     pub mode: RelevanceMode,
+    /// Exponential age-discount rate for stale (coasted) perception data,
+    /// 1/seconds. An object whose last observation is `age` seconds old has
+    /// its relevance scaled by `exp(-staleness_decay * age)`; `0.0` (the
+    /// default) disables the discount entirely.
+    pub staleness_decay: f64,
 }
 
 impl Default for RelevanceConfig {
@@ -50,6 +55,7 @@ impl Default for RelevanceConfig {
         RelevanceConfig {
             horizon: 5.0,
             mode: RelevanceMode::Combined,
+            staleness_decay: 0.0,
         }
     }
 }
@@ -65,6 +71,24 @@ impl RelevanceConfig {
     pub fn with_mode(mut self, mode: RelevanceMode) -> Self {
         self.mode = mode;
         self
+    }
+
+    /// Returns the configuration with the staleness-decay rate replaced.
+    pub fn with_staleness_decay(mut self, staleness_decay: f64) -> Self {
+        self.staleness_decay = staleness_decay;
+        self
+    }
+
+    /// The age-discount factor for perception data last observed `age`
+    /// seconds ago: `exp(-staleness_decay * age)`, exactly `1.0` when the
+    /// decay is disabled or the data is fresh (so fresh data is bit-for-bit
+    /// unaffected by the discount machinery).
+    pub fn staleness_discount(&self, age: f64) -> f64 {
+        if self.staleness_decay <= 0.0 || age <= 0.0 {
+            1.0
+        } else {
+            (-self.staleness_decay * age).exp()
+        }
     }
 }
 
@@ -404,6 +428,17 @@ mod tests {
         // Parallel paths have no crossing at all.
         let par = vehicle(4, Vec2::new(0.0, 5.0), 10.0, 0.0);
         assert_eq!(joint_gaussian_relevance(&a, &par, cfg), 0.0);
+    }
+
+    #[test]
+    fn staleness_discount_decays_with_age() {
+        let cfg = RelevanceConfig::default().with_staleness_decay(0.5);
+        assert_eq!(cfg.staleness_discount(0.0), 1.0, "fresh data undiscounted");
+        assert!((cfg.staleness_discount(1.0) - (-0.5f64).exp()).abs() < 1e-12);
+        assert!(cfg.staleness_discount(2.0) < cfg.staleness_discount(1.0));
+        // Disabled decay is exactly 1.0 at any age.
+        let off = RelevanceConfig::default();
+        assert_eq!(off.staleness_discount(3.0), 1.0);
     }
 
     #[test]

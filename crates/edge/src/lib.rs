@@ -5,10 +5,14 @@
 //!   unlimited),
 //! * [`EdgeServer`] — traffic map, tracking, rule-based prediction,
 //!   relevance matrix,
-//! * [`System`] — one object wiring scans → uploads → server →
-//!   dissemination plan → driver alerts per frame,
+//! * [`System`] — one object wiring scans → uploads → faulty links →
+//!   server → dissemination plan → driver alerts per frame,
+//! * [`FaultModel`] — seeded, deterministic channel impairments (loss,
+//!   jitter, churn, truncation) with server-side coasting to degrade
+//!   gracefully,
 //! * [`run`] / [`run_seeds`] — scenario runners aggregating the paper's
-//!   evaluation metrics (safe passage, min distance, bandwidths, latency).
+//!   evaluation metrics (safe passage, min distance, bandwidths, latency,
+//!   delivery ratio, staleness).
 //!
 //! # Examples
 //!
@@ -20,13 +24,14 @@
 //!     Strategy::Ours,
 //!     ScenarioConfig::default().with_kind(ScenarioKind::UnprotectedLeftTurn),
 //! );
-//! let result = run(cfg);
+//! let result = run(cfg).expect("valid configuration");
 //! assert!(result.safe_passage);
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod fault;
 mod metrics;
 mod network;
 mod par;
@@ -34,6 +39,8 @@ mod server;
 mod system;
 mod upload;
 
+pub use erpd_core::Error;
+pub use fault::FaultModel;
 pub use metrics::{run, run_seeds, AveragedResult, ModuleTimesMs, RunConfig, RunResult};
 pub use network::NetworkConfig;
 pub use server::{DetectionSummary, EdgeServer, ServerConfig, ServerFrame, TRACK_ID_BASE};

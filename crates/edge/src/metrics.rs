@@ -2,6 +2,7 @@
 //! the metrics every figure of the paper's evaluation plots.
 
 use crate::{ModuleTimes, Strategy, System, SystemConfig};
+use erpd_core::Error;
 use erpd_sim::{EntityKind, Scenario, ScenarioConfig};
 
 /// Configuration of one evaluation run.
@@ -70,6 +71,14 @@ pub struct RunResult {
     pub predicted_trajectories: f64,
     /// Mean end-to-end latency, milliseconds.
     pub latency_ms: f64,
+    /// Delivered / expected uploads over the whole run (1 on an ideal
+    /// network, lower when the fault layer loses uploads).
+    pub delivery_ratio: f64,
+    /// 95th percentile of served-object staleness, seconds (0 when nothing
+    /// was ever coasted).
+    pub staleness_p95: f64,
+    /// Mean coasted (stale-served) objects per frame.
+    pub coasted_objects: f64,
     /// Mean per-module times, milliseconds.
     pub module_times_ms: ModuleTimesMs,
 }
@@ -92,7 +101,12 @@ pub struct ModuleTimesMs {
 }
 
 /// Runs one scenario under one strategy and aggregates the metrics.
-pub fn run(config: RunConfig) -> RunResult {
+///
+/// # Errors
+///
+/// Propagates any [`Error`] from the per-frame pipeline (an invalid
+/// [`crate::FaultModel`] is the common caller-facing case).
+pub fn run(config: RunConfig) -> Result<RunResult, Error> {
     let mut scenario = Scenario::build(config.scenario);
     let mut system = System::new(config.system, &scenario.world);
 
@@ -106,10 +120,18 @@ pub fn run(config: RunConfig) -> RunResult {
     let mut times = ModuleTimes::default();
     let mut latency_sum = 0.0;
     let mut frames = 0usize;
+    let mut expected_uploads = 0usize;
+    let mut delivered_uploads = 0usize;
+    let mut coasted_sum = 0usize;
+    let mut staleness: Vec<f64> = Vec::new();
 
     for _ in 0..steps {
-        let report = system.tick(&mut scenario.world);
+        let report = system.tick(&mut scenario.world)?;
         frames += 1;
+        expected_uploads += report.expected_uploads;
+        delivered_uploads += report.delivered_uploads;
+        coasted_sum += report.coasted_objects;
+        staleness.extend_from_slice(&report.staleness);
         upload_bytes_sum += report.upload_bytes.iter().sum::<u64>();
         upload_samples += report.upload_bytes.len();
         dissemination_bytes_sum += report.dissemination_bytes;
@@ -168,7 +190,7 @@ pub fn run(config: RunConfig) -> RunResult {
         }
     };
     let nf = frames.max(1) as f64;
-    RunResult {
+    Ok(RunResult {
         safe_passage: !protagonist_collided,
         min_distance: if min_distance.is_finite() { min_distance } else { 0.0 },
         total_collisions: scenario.world.collisions().len(),
@@ -177,6 +199,13 @@ pub fn run(config: RunConfig) -> RunResult {
         detected_objects: detected_sum / nf,
         predicted_trajectories: predicted_sum / nf,
         latency_ms: latency_sum / nf * 1e3,
+        delivery_ratio: if expected_uploads == 0 {
+            1.0
+        } else {
+            delivered_uploads as f64 / expected_uploads as f64
+        },
+        staleness_p95: percentile(&mut staleness, 0.95),
+        coasted_objects: coasted_sum as f64 / nf,
         module_times_ms: ModuleTimesMs {
             extraction: times.extraction / nf * 1e3,
             upload_tx: times.upload_tx / nf * 1e3,
@@ -185,19 +214,33 @@ pub fn run(config: RunConfig) -> RunResult {
             dissemination: times.dissemination / nf * 1e3,
             downlink_tx: times.downlink_tx / nf * 1e3,
         },
+    })
+}
+
+/// The `q`-quantile of `samples` (sorted in place); 0 for an empty set.
+fn percentile(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
     }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((samples.len() as f64 * q) as usize).min(samples.len() - 1);
+    samples[idx]
 }
 
 /// Runs `seeds` runs and returns the fraction with safe passage plus the
 /// mean of each metric — one point of a paper figure.
-pub fn run_seeds(base: RunConfig, seeds: &[u64]) -> AveragedResult {
+///
+/// # Errors
+///
+/// The first [`Error`] any seed's run produces.
+pub fn run_seeds(base: RunConfig, seeds: &[u64]) -> Result<AveragedResult, Error> {
     let mut results = Vec::with_capacity(seeds.len());
     for &seed in seeds {
         let mut cfg = base;
         cfg.scenario.seed = seed;
-        results.push(run(cfg));
+        results.push(run(cfg)?);
     }
-    AveragedResult::from_runs(&results)
+    Ok(AveragedResult::from_runs(&results))
 }
 
 /// Seed-averaged metrics.
@@ -215,6 +258,12 @@ pub struct AveragedResult {
     pub detected_objects: f64,
     /// Mean end-to-end latency, ms.
     pub latency_ms: f64,
+    /// Mean upload delivery ratio.
+    pub delivery_ratio: f64,
+    /// Mean 95th-percentile staleness, seconds.
+    pub staleness_p95: f64,
+    /// Mean coasted objects per frame.
+    pub coasted_objects: f64,
     /// Mean module breakdown, ms.
     pub module_times_ms: ModuleTimesMs,
 }
@@ -231,6 +280,9 @@ impl AveragedResult {
             dissemination_mbps: mean(&|r| r.dissemination_mbps),
             detected_objects: mean(&|r| r.detected_objects),
             latency_ms: mean(&|r| r.latency_ms),
+            delivery_ratio: mean(&|r| r.delivery_ratio),
+            staleness_p95: mean(&|r| r.staleness_p95),
+            coasted_objects: mean(&|r| r.coasted_objects),
             module_times_ms: ModuleTimesMs {
                 extraction: mean(&|r| r.module_times_ms.extraction),
                 upload_tx: mean(&|r| r.module_times_ms.upload_tx),
@@ -261,8 +313,8 @@ mod tests {
     #[test]
     fn single_is_unsafe_ours_is_safe() {
         let sc = scenario_cfg(ScenarioKind::UnprotectedLeftTurn);
-        let single = run(RunConfig::new(Strategy::Single, sc));
-        let ours = run(RunConfig::new(Strategy::Ours, sc));
+        let single = run(RunConfig::new(Strategy::Single, sc)).unwrap();
+        let ours = run(RunConfig::new(Strategy::Ours, sc)).unwrap();
         assert!(!single.safe_passage);
         assert_eq!(single.min_distance, 0.0);
         assert!(ours.safe_passage, "ours = {ours:?}");
@@ -272,9 +324,9 @@ mod tests {
     #[test]
     fn bandwidth_ordering_matches_paper() {
         let sc = scenario_cfg(ScenarioKind::RedLightViolation);
-        let ours = run(RunConfig::new(Strategy::Ours, sc));
-        let emp = run(RunConfig::new(Strategy::Emp, sc));
-        let unlimited = run(RunConfig::new(Strategy::Unlimited, sc));
+        let ours = run(RunConfig::new(Strategy::Ours, sc)).unwrap();
+        let emp = run(RunConfig::new(Strategy::Emp, sc)).unwrap();
+        let unlimited = run(RunConfig::new(Strategy::Unlimited, sc)).unwrap();
         // Upload: ours < emp < unlimited (Fig 12a).
         assert!(
             ours.upload_mbps_per_vehicle < emp.upload_mbps_per_vehicle,
@@ -291,17 +343,61 @@ mod tests {
     #[test]
     fn seed_averaging() {
         let sc = scenario_cfg(ScenarioKind::UnprotectedLeftTurn);
-        let avg = run_seeds(RunConfig::new(Strategy::Single, sc), &[1, 2]);
+        let avg = run_seeds(RunConfig::new(Strategy::Single, sc), &[1, 2]).unwrap();
         assert_eq!(avg.safe_passage_rate, 0.0);
         assert_eq!(avg.min_distance, 0.0);
     }
 
     #[test]
+    fn ideal_network_has_unit_delivery_and_no_staleness() {
+        let sc = scenario_cfg(ScenarioKind::UnprotectedLeftTurn);
+        let cfg = RunConfig::new(Strategy::Ours, sc).with_duration(3.0);
+        let r = run(cfg).unwrap();
+        assert_eq!(r.delivery_ratio, 1.0);
+        assert_eq!(r.staleness_p95, 0.0);
+        assert_eq!(r.coasted_objects, 0.0);
+    }
+
+    #[test]
+    fn lossy_channel_degrades_delivery_gracefully() {
+        use crate::{FaultModel, NetworkConfig, ServerConfig};
+        let sc = scenario_cfg(ScenarioKind::UnprotectedLeftTurn);
+        let system = SystemConfig::new(Strategy::Ours)
+            .with_network(
+                NetworkConfig::default()
+                    .with_fault(FaultModel::default().with_loss_prob(0.3).with_seed(7)),
+            )
+            .with_server(ServerConfig::default().with_coast_horizon(1.0));
+        let cfg = RunConfig::new(Strategy::Ours, sc)
+            .with_system(system)
+            .with_duration(5.0);
+        let r = run(cfg).unwrap();
+        assert!(
+            r.delivery_ratio > 0.4 && r.delivery_ratio < 0.95,
+            "delivery_ratio = {}",
+            r.delivery_ratio
+        );
+        assert!(r.coasted_objects > 0.0, "losses must force coasting");
+        assert!(r.staleness_p95 > 0.0, "coasted objects must age");
+    }
+
+    #[test]
+    fn invalid_fault_model_is_an_error_not_a_panic() {
+        use crate::{FaultModel, NetworkConfig};
+        let sc = scenario_cfg(ScenarioKind::UnprotectedLeftTurn);
+        let system = SystemConfig::new(Strategy::Ours).with_network(
+            NetworkConfig::default().with_fault(FaultModel::default().with_loss_prob(1.5)),
+        );
+        let cfg = RunConfig::new(Strategy::Ours, sc).with_system(system);
+        assert!(matches!(run(cfg), Err(Error::InvalidConfig { .. })));
+    }
+
+    #[test]
     fn detected_objects_positive_for_sharing_strategies() {
         let sc = scenario_cfg(ScenarioKind::UnprotectedLeftTurn);
-        let ours = run(RunConfig::new(Strategy::Ours, sc));
+        let ours = run(RunConfig::new(Strategy::Ours, sc)).unwrap();
         assert!(ours.detected_objects > 0.5, "detected = {}", ours.detected_objects);
-        let single = run(RunConfig::new(Strategy::Single, sc));
+        let single = run(RunConfig::new(Strategy::Single, sc)).unwrap();
         assert_eq!(single.detected_objects, 0.0);
     }
 }

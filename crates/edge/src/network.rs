@@ -5,6 +5,8 @@
 //! substitution 4 — we fix representative constants: a per-vehicle uplink
 //! and a shared downlink, both accounted per 100 ms LiDAR frame.
 
+use crate::FaultModel;
+
 /// Network parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetworkConfig {
@@ -23,6 +25,9 @@ pub struct NetworkConfig {
     pub base_latency: f64,
     /// LiDAR frame period, seconds.
     pub frame_period: f64,
+    /// Channel impairments (loss, jitter, churn, truncation). Ideal — no
+    /// impairment at all — by default.
+    pub fault: FaultModel,
 }
 
 impl Default for NetworkConfig {
@@ -32,6 +37,7 @@ impl Default for NetworkConfig {
             downlink_bps: 8e6, // 8 Mbit/s shared broadcast budget
             base_latency: 0.008,
             frame_period: 0.1,
+            fault: FaultModel::default(),
         }
     }
 }
@@ -58,6 +64,12 @@ impl NetworkConfig {
     /// Returns the configuration with the LiDAR frame period replaced.
     pub fn with_frame_period(mut self, frame_period: f64) -> Self {
         self.frame_period = frame_period;
+        self
+    }
+
+    /// Returns the configuration with the channel impairments replaced.
+    pub fn with_fault(mut self, fault: FaultModel) -> Self {
+        self.fault = fault;
         self
     }
 

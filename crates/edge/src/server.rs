@@ -9,7 +9,7 @@
 
 use crate::{Upload, UploadedObject};
 use erpd_core::{
-    build_relevance_matrix_multi, ObjectHypotheses, RelevanceConfig, RelevanceMatrix,
+    build_relevance_matrix_multi, Error, ObjectHypotheses, RelevanceConfig, RelevanceMatrix,
 };
 use erpd_geometry::{Pose2, Vec2};
 use erpd_pointcloud::{PointCloud, PointCloudMerger};
@@ -44,6 +44,12 @@ pub struct ServerConfig {
     pub self_report_radius: f64,
     /// Planar extent below which a detection is classified as a pedestrian.
     pub pedestrian_extent: f64,
+    /// Staleness horizon for **coasting**, seconds: how long an object
+    /// whose source upload went missing is kept alive — advanced by the
+    /// trajectory predictor from its last observation — before being
+    /// dropped. `0.0` (the default) disables coasting, reproducing the
+    /// ideal-network behaviour exactly.
+    pub coast_horizon: f64,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +63,7 @@ impl Default for ServerConfig {
             detection_match_radius: 2.0,
             self_report_radius: 3.0,
             pedestrian_extent: 1.6,
+            coast_horizon: 0.0,
         }
     }
 }
@@ -109,6 +116,13 @@ impl ServerConfig {
         self.pedestrian_extent = extent;
         self
     }
+
+    /// Returns the configuration with the coasting staleness horizon
+    /// replaced.
+    pub fn with_coast_horizon(mut self, coast_horizon: f64) -> Self {
+        self.coast_horizon = coast_horizon;
+        self
+    }
 }
 
 /// One merged, tracked object known to the server this frame.
@@ -139,6 +153,12 @@ pub struct ServerFrame {
     pub predicted_trajectories: usize,
     /// Points in the merged traffic map.
     pub map_points: usize,
+    /// Objects served from coasted (stale) state this frame because their
+    /// source upload went missing.
+    pub coasted_objects: usize,
+    /// Observation age of each coasted object, seconds (empty when nothing
+    /// coasted).
+    pub staleness: Vec<f64>,
     /// Wall time of map building (merge + association), seconds.
     pub map_build_time: f64,
     /// Wall time of tracking + prediction + relevance, seconds.
@@ -154,7 +174,7 @@ impl ServerFrame {
             .iter()
             .map(|d| (d.id, d.position.distance(pos)))
             .filter(|&(_, d)| d <= radius)
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(id, _)| id)
     }
 }
@@ -166,6 +186,9 @@ pub struct EdgeServer {
     map: IntersectionMap,
     tracker: Tracker,
     pose_history: BTreeMap<u64, VecDeque<(f64, Pose2)>>,
+    /// Last known wire size per object, so coasted objects keep a
+    /// dissemination cost after their source upload disappears.
+    last_bytes: BTreeMap<ObjectId, u64>,
 }
 
 impl EdgeServer {
@@ -176,6 +199,7 @@ impl EdgeServer {
             map,
             tracker: Tracker::new(TrackerConfig::default()),
             pose_history: BTreeMap::new(),
+            last_bytes: BTreeMap::new(),
         }
     }
 
@@ -185,7 +209,18 @@ impl EdgeServer {
     }
 
     /// Processes one frame of uploads.
-    pub fn process(&mut self, now: f64, uploads: &[Upload]) -> ServerFrame {
+    ///
+    /// With a positive [`ServerConfig::coast_horizon`], objects and
+    /// connected vehicles whose upload went missing are **coasted**:
+    /// advanced from their last observation by the predictor's
+    /// constant-velocity model and kept as (age-discounted) relevance
+    /// inputs until the horizon expires.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NonFiniteRelevance`] if relevance assembly produces a
+    /// non-finite value.
+    pub fn process(&mut self, now: f64, uploads: &[Upload]) -> Result<ServerFrame, Error> {
         let t_map = Instant::now();
 
         // --- Traffic map: merge every uploaded cloud (voxel dedup). Each
@@ -266,6 +301,7 @@ impl EdgeServer {
             let id = ObjectId(TRACK_ID_BASE + raw_id.0);
             let bytes = cloud.wire_size_bytes() as u64;
             sizes.insert(id, bytes);
+            self.last_bytes.insert(id, bytes);
             detections.push(DetectionSummary {
                 id,
                 position: det.position,
@@ -285,6 +321,7 @@ impl EdgeServer {
         let mut receivers = Vec::new();
         let mut rule_inputs: Vec<RuleInput> = Vec::new();
         let mut kinematics: BTreeMap<ObjectId, (Vec2, f64, f64, f64)> = BTreeMap::new(); // pos, speed, heading, turn rate
+        let mut ages: BTreeMap<ObjectId, f64> = BTreeMap::new();
         for u in uploads {
             let id = ObjectId(u.vehicle_id);
             receivers.push(id);
@@ -304,33 +341,92 @@ impl EdgeServer {
                 id,
                 (u.pose.position, velocity.norm(), u.pose.heading(), turn_rate),
             );
-            sizes.entry(id).or_insert_with(|| {
+            let bytes = *sizes.entry(id).or_insert_with(|| {
                 self_report_bytes.get(&u.vehicle_id).copied().unwrap_or(600)
             });
+            self.last_bytes.insert(id, bytes);
         }
 
-        // --- Tracked objects become rule inputs too. ---
+        // --- Coast connected vehicles whose upload went missing: within
+        // the staleness horizon they stay receivers (and rule inputs),
+        // advanced from their last reported pose by their last known
+        // velocity. ---
+        let coast_horizon = self.config.coast_horizon;
+        if coast_horizon > 0.0 {
+            let uploaded: std::collections::BTreeSet<u64> =
+                uploads.iter().map(|u| u.vehicle_id).collect();
+            for (&vid, h) in &self.pose_history {
+                if uploaded.contains(&vid) {
+                    continue;
+                }
+                let &(t_last, pose) = h.back().expect("history entries are never empty");
+                let age = now - t_last;
+                if age <= 0.0 || age > coast_horizon {
+                    continue;
+                }
+                let id = ObjectId(vid);
+                let (velocity, turn_rate) = history_kinematics(h);
+                let position = pose.position + velocity * age;
+                receivers.push(id);
+                let mut state = ObjectState::new(id, ObjectKind::Vehicle, position, velocity);
+                state.heading = pose.heading();
+                rule_inputs.push(RuleInput {
+                    state,
+                    lane: self
+                        .map
+                        .lane_of(position, pose.heading())
+                        .map(to_lane_position),
+                    in_intersection: self.map.in_intersection(position),
+                });
+                kinematics.insert(id, (position, velocity.norm(), pose.heading(), turn_rate));
+                sizes
+                    .entry(id)
+                    .or_insert_with(|| self.last_bytes.get(&id).copied().unwrap_or(600));
+                ages.insert(id, age);
+            }
+            // Histories beyond the horizon can never coast again.
+            self.pose_history
+                .retain(|_, h| now - h.back().expect("non-empty").0 <= coast_horizon);
+        }
+
+        // --- Tracked objects become rule inputs too. Unobserved tracks are
+        // coasted along their velocity while inside the staleness horizon;
+        // beyond it (or with coasting disabled) they are skipped as before. ---
         for track in self.tracker.tracks() {
-            if track.misses() > 0 {
-                continue; // not observed this frame
+            let age = now - track.last_seen();
+            if track.misses() > 0 && (coast_horizon <= 0.0 || age > coast_horizon) {
+                continue; // not observed this frame, nothing to coast
             }
             let id = ObjectId(TRACK_ID_BASE + track.id().0);
             let velocity = track.velocity();
-            let state = ObjectState::new(id, track.kind(), track.position(), velocity);
+            let position = if track.misses() > 0 {
+                track.coasted_position(now)
+            } else {
+                track.position()
+            };
+            let state = ObjectState::new(id, track.kind(), position, velocity);
             let heading = state.heading;
             rule_inputs.push(RuleInput {
                 state,
                 lane: if track.kind() == ObjectKind::Vehicle {
-                    self.map.lane_of(track.position(), heading).map(to_lane_position)
+                    self.map.lane_of(position, heading).map(to_lane_position)
                 } else {
                     None
                 },
-                in_intersection: self.map.in_intersection(track.position()),
+                in_intersection: self.map.in_intersection(position),
             });
-            kinematics.insert(
-                id,
-                (track.position(), velocity.norm(), heading, track.turn_rate()),
-            );
+            kinematics.insert(id, (position, velocity.norm(), heading, track.turn_rate()));
+            if track.misses() > 0 {
+                ages.insert(id, age);
+                let bytes = self.last_bytes.get(&id).copied().unwrap_or(600);
+                sizes.insert(id, bytes);
+                detections.push(DetectionSummary {
+                    id,
+                    position,
+                    kind: track.kind(),
+                    bytes,
+                });
+            }
         }
 
         // --- Rules 1-3 select what to predict. ---
@@ -361,6 +457,7 @@ impl EdgeServer {
         let kin = &kinematics;
         let lanes = &lane_by_id;
         let recv_set = &receiver_set;
+        let age_of = &ages;
         let predicted = crate::par::par_map(predicted_ids, |id| {
             let &(pos, speed, heading, turn_rate) = kin.get(&id)?;
             // Body trajectories: where the object will actually be.
@@ -404,6 +501,7 @@ impl EdgeServer {
                 object: id,
                 trajectories,
                 receiver_extra,
+                age: age_of.get(&id).copied().unwrap_or(0.0),
             })
         });
         objects.extend(predicted.into_iter().flatten());
@@ -473,19 +571,22 @@ impl EdgeServer {
             self.config.alpha,
             self.config.relevance,
             visible,
-        );
+        )?;
         let prediction_time = t_predict.elapsed().as_secs_f64();
 
-        ServerFrame {
+        let staleness: Vec<f64> = ages.values().copied().collect();
+        Ok(ServerFrame {
             matrix,
             sizes,
             receivers,
             detections,
             predicted_trajectories,
             map_points,
+            coasted_objects: staleness.len(),
+            staleness,
             map_build_time,
             prediction_time,
-        }
+        })
     }
 
     /// Map-based route hypotheses for a vehicle on an approach lane.
@@ -674,7 +775,7 @@ mod tests {
         // Two vehicles both upload the same car at (20, 0).
         let u1 = upload(1, Pose2::new(Vec2::new(-10.0, 0.0), 0.0), vec![(20.0, 0.0, 40, 3.0)]);
         let u2 = upload(2, Pose2::new(Vec2::new(40.0, 0.0), 0.0), vec![(20.3, 0.2, 40, 3.0)]);
-        let f = s.process(0.0, &[u1, u2]);
+        let f = s.process(0.0, &[u1, u2]).unwrap();
         assert_eq!(f.detections.len(), 1);
         assert_eq!(f.detections[0].kind, ObjectKind::Vehicle);
         assert_eq!(f.receivers.len(), 2);
@@ -686,7 +787,7 @@ mod tests {
         // Vehicle 2's cluster sits exactly at vehicle 1's reported pose.
         let u1 = upload(1, Pose2::new(Vec2::new(20.0, 0.0), 0.0), vec![]);
         let u2 = upload(2, Pose2::new(Vec2::new(40.0, 0.0), 0.0), vec![(20.0, 0.0, 40, 2.0)]);
-        let f = s.process(0.0, &[u1, u2]);
+        let f = s.process(0.0, &[u1, u2]).unwrap();
         assert!(f.detections.is_empty(), "self-reported vehicle must not duplicate");
         // Its bytes become the connected vehicle's data size.
         assert!(f.sizes[&ObjectId(1)] > 600);
@@ -700,7 +801,7 @@ mod tests {
             Pose2::new(Vec2::new(-10.0, 0.0), 0.0),
             vec![(20.0, 0.0, 40, 3.0), (10.0, 5.0, 12, 0.4)],
         );
-        let f = s.process(0.0, &[u]);
+        let f = s.process(0.0, &[u]).unwrap();
         let kinds: Vec<ObjectKind> = f.detections.iter().map(|d| d.kind).collect();
         assert!(kinds.contains(&ObjectKind::Vehicle));
         assert!(kinds.contains(&ObjectKind::Pedestrian));
@@ -723,7 +824,7 @@ mod tests {
                 Pose2::new(Vec2::new(1.75, -30.0 + 10.0 * t), std::f64::consts::FRAC_PI_2),
                 vec![],
             );
-            let f = s.process(t, &[u1, u2]);
+            let f = s.process(t, &[u1, u2]).unwrap();
             if step == 4 {
                 assert!(
                     f.matrix.get(ObjectId(1), ObjectId(2)) > 0.0,
@@ -747,7 +848,7 @@ mod tests {
                 vec![(p2.x, p2.y, 30, 2.0)],
             );
             let u2 = upload(2, Pose2::new(p2, std::f64::consts::FRAC_PI_2), vec![]);
-            let f = s.process(t, &[u1, u2]);
+            let f = s.process(t, &[u1, u2]).unwrap();
             if step == 4 {
                 assert_eq!(
                     f.matrix.get(ObjectId(1), ObjectId(2)),
@@ -778,7 +879,7 @@ mod tests {
                 Pose2::new(Vec2::new(60.0, 5.25), std::f64::consts::PI),
                 vec![(hazard_x, 5.25, 40, 3.0)],
             );
-            let f = s.process(t, &[u_ego, u_obs]);
+            let f = s.process(t, &[u_ego, u_obs]).unwrap();
             if step == 5 {
                 let hazard_id = f
                     .object_near(Vec2::new(hazard_x + 1.5, 5.25 + 1.5), 4.0)
@@ -804,7 +905,7 @@ mod tests {
             let pose = map.spawn_pose(erpd_sim::Approach::East, 0, 15.0 + 10.0 * k as f64);
             uploads.push(upload(k + 1, pose, vec![]));
         }
-        let f = s.process(0.0, &uploads);
+        let f = s.process(0.0, &uploads).unwrap();
         assert!(
             f.predicted_trajectories <= 2,
             "queue must collapse to its leader, got {}",
@@ -815,7 +916,7 @@ mod tests {
     #[test]
     fn empty_frame_is_fine() {
         let mut s = server();
-        let f = s.process(0.0, &[]);
+        let f = s.process(0.0, &[]).unwrap();
         assert!(f.matrix.is_empty());
         assert!(f.detections.is_empty());
         assert!(f.receivers.is_empty());
@@ -826,7 +927,7 @@ mod tests {
     fn object_near_lookup() {
         let mut s = server();
         let u = upload(1, Pose2::new(Vec2::new(-20.0, 0.0), 0.0), vec![(20.0, 0.0, 40, 3.0)]);
-        let f = s.process(0.0, &[u]);
+        let f = s.process(0.0, &[u]).unwrap();
         assert!(f.object_near(Vec2::new(21.0, 1.0), 4.0).is_some());
         assert!(f.object_near(Vec2::new(90.0, 0.0), 4.0).is_none());
     }

@@ -88,6 +88,18 @@ impl Track {
         }
     }
 
+    /// Position coasted to `now` by the constant-velocity model: the best
+    /// estimate for a track whose recent observations are missing (e.g. the
+    /// observing vehicle's upload was lost). Equals [`Track::position`] when
+    /// `now` is not later than the last observation.
+    pub fn coasted_position(&self, now: f64) -> Vec2 {
+        let age = now - self.last_seen();
+        if age <= 0.0 {
+            return self.position();
+        }
+        self.position() + self.velocity() * age
+    }
+
     /// Heading estimate: direction of the velocity, or `None` when nearly
     /// stationary.
     pub fn heading(&self) -> Option<f64> {
@@ -297,6 +309,24 @@ mod tests {
         let v = tr.tracks()[0].velocity();
         assert!((v.x - 5.0).abs() < 0.1, "vx = {}", v.x);
         assert!((v.y + 3.0).abs() < 0.1, "vy = {}", v.y);
+    }
+
+    #[test]
+    fn coasting_extrapolates_along_velocity() {
+        let mut tr = Tracker::new(TrackerConfig::default());
+        for i in 0..8 {
+            let t = i as f64 * 0.1;
+            tr.update(t, &[det(5.0 * t, 0.0)]);
+        }
+        let track = &tr.tracks()[0];
+        let last = track.last_seen();
+        // Not later than the last observation: exactly the last position.
+        assert_eq!(track.coasted_position(last), track.position());
+        // Half a second later: advanced by roughly v * 0.5.
+        let coasted = track.coasted_position(last + 0.5);
+        let expect = track.position() + track.velocity() * 0.5;
+        assert!((coasted - expect).norm() < 1e-9);
+        assert!((coasted.x - (track.position().x + 2.5)).abs() < 0.1);
     }
 
     #[test]

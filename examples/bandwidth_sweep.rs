@@ -8,7 +8,7 @@
 
 use erpd::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Error> {
     println!("red-light violation, 40 vehicles, 30 km/h, seed 7\n");
     println!(
         "{:>10} | {:>24} | {:>24}",
@@ -26,7 +26,7 @@ fn main() {
         let mut up = Vec::new();
         let mut down = Vec::new();
         for strategy in [Strategy::Ours, Strategy::Emp, Strategy::Unlimited] {
-            let r = run(RunConfig::new(strategy, scenario));
+            let r = run(RunConfig::new(strategy, scenario))?;
             up.push(r.upload_mbps_per_vehicle);
             down.push(r.dissemination_mbps);
         }
@@ -37,4 +37,5 @@ fn main() {
     }
     println!("\nexpected shape: Ours ≪ EMP (≈ at the uplink cap) ≪ Unlimited; dissemination for");
     println!("Unlimited grows steeply with connectivity while Ours stays low.");
+    Ok(())
 }

@@ -1,0 +1,51 @@
+//! Graceful degradation on an impaired channel: sweep the upload loss
+//! probability and watch delivery ratio, staleness, and safety respond.
+//!
+//! The fault layer is seeded and deterministic — rerunning this example
+//! reproduces every lost frame bit for bit. The server coasts stale tracks
+//! forward (up to `coast_horizon` seconds) instead of forgetting them, so
+//! safety degrades smoothly rather than collapsing at the first lost
+//! upload.
+//!
+//! ```bash
+//! cargo run --release --example lossy_network
+//! ```
+
+use erpd::prelude::*;
+
+fn main() -> Result<(), Error> {
+    let seeds: Vec<u64> = (0..4).collect();
+    println!(
+        "unprotected left turn, 30 km/h, coast horizon 1.0 s, {} seeds\n",
+        seeds.len()
+    );
+    println!(
+        "{:>6} | {:>9} | {:>10} | {:>9} | {:>12}",
+        "loss", "delivery", "stale p95", "coasted", "safe passage"
+    );
+
+    for loss in [0.0, 0.1, 0.2, 0.4] {
+        let fault = FaultModel::default().with_loss_prob(loss).with_seed(7);
+        let system = SystemConfig::new(Strategy::Ours)
+            .with_network(NetworkConfig::default().with_fault(fault))
+            .with_server(ServerConfig::default().with_coast_horizon(1.0));
+        let scenario = ScenarioConfig::default()
+            .with_kind(ScenarioKind::UnprotectedLeftTurn)
+            .with_speed_kmh(30.0);
+        let cfg = RunConfig::new(Strategy::Ours, scenario).with_system(system);
+        let avg = run_seeds(cfg, &seeds)?;
+        println!(
+            "{:>5.0}% | {:>8.1}% | {:>8.2} s | {:>9.1} | {:>11.0}%",
+            loss * 100.0,
+            avg.delivery_ratio * 100.0,
+            avg.staleness_p95,
+            avg.coasted_objects,
+            avg.safe_passage_rate * 100.0
+        );
+    }
+
+    println!("\nexpected: delivery falls linearly with the loss rate while coasting keeps");
+    println!("objects on the map; safe passage holds at moderate loss because the");
+    println!("trajectory predictor bridges the gaps.");
+    Ok(())
+}

@@ -12,7 +12,7 @@
 
 use erpd::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Error> {
     let mut s = Scenario::build(
         ScenarioConfig::default()
             .with_kind(ScenarioKind::OccludedPedestrian)
@@ -34,7 +34,7 @@ fn main() {
     let mut first_alert: Option<f64> = None;
     let mut bystander_alerts = 0usize;
     for _ in 0..160 {
-        let report = system.tick(&mut s.world);
+        let report = system.tick(&mut s.world)?;
         if report.alerted.contains(&s.ego) && first_alert.is_none() {
             first_alert = Some(s.world.time());
             println!(
@@ -62,4 +62,5 @@ fn main() {
         first_alert.map_or("never".into(), |t| format!("{t:.1} s"))
     );
     println!("\nexpected: B alerted in time, no collision, A never alerted (p is irrelevant to it).");
+    Ok(())
 }

@@ -11,7 +11,7 @@
 
 use erpd::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Error> {
     let scenario = ScenarioConfig::default()
         .with_kind(ScenarioKind::UnprotectedLeftTurn)
         .with_n_vehicles(40)
@@ -22,7 +22,7 @@ fn main() {
     println!("scenario: unprotected left turn, 40 vehicles, 30% connected, 30 km/h\n");
 
     for strategy in [Strategy::Single, Strategy::Ours] {
-        let result = run(RunConfig::new(strategy, scenario));
+        let result = run(RunConfig::new(strategy, scenario))?;
         println!("--- {strategy:?} ---");
         println!("  safe passage:        {}", result.safe_passage);
         println!("  min distance:        {:.2} m", result.min_distance);
@@ -40,4 +40,5 @@ fn main() {
     }
 
     println!("expected: Single collides; Ours passes safely at a fraction of the bandwidth.");
+    Ok(())
 }

@@ -7,7 +7,7 @@
 
 use erpd::prelude::*;
 
-fn main() {
+fn main() -> Result<(), Error> {
     let seeds: Vec<u64> = (0..5).collect();
     println!("unprotected left turn, 40 vehicles, 30% connected, {} seeds\n", seeds.len());
     println!(
@@ -25,7 +25,7 @@ fn main() {
         let mut safe = Vec::new();
         let mut dist = Vec::new();
         for strategy in [Strategy::Single, Strategy::Emp, Strategy::Ours] {
-            let avg = run_seeds(RunConfig::new(strategy, scenario), &seeds);
+            let avg = run_seeds(RunConfig::new(strategy, scenario), &seeds)?;
             safe.push(avg.safe_passage_rate * 100.0);
             dist.push(avg.min_distance);
         }
@@ -37,4 +37,5 @@ fn main() {
     println!("\nexpected shape (paper Fig. 10a/11): Single always 0%; Ours stays near 100%");
     println!("and keeps larger clearances; EMP degrades as speed grows because its");
     println!("round-robin dissemination delivers the critical data too late.");
+    Ok(())
 }

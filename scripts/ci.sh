@@ -24,6 +24,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo build --release --no-default-features"
+cargo build --release --no-default-features
+
+echo "==> cargo test -q --no-default-features"
+cargo test -q --no-default-features
+
 if [ "$quick" -eq 0 ]; then
     echo "==> cargo clippy --all-targets -- -D warnings"
     cargo clippy --all-targets -- -D warnings

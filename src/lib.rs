@@ -27,8 +27,34 @@
 //! use erpd::prelude::*;
 //!
 //! let scenario = ScenarioConfig::default().with_kind(ScenarioKind::UnprotectedLeftTurn);
-//! let result = run(RunConfig::new(Strategy::Ours, scenario));
+//! let result = run(RunConfig::new(Strategy::Ours, scenario)).expect("valid configuration");
 //! println!("safe passage: {}", result.safe_passage);
+//! ```
+//!
+//! # Lossy networks
+//!
+//! Real V2X channels drop, delay, and clip uploads. The fault layer is a
+//! seeded, deterministic [`FaultModel`](prelude::FaultModel) on the network
+//! config; the server coasts stale tracks instead of forgetting them:
+//!
+//! ```no_run
+//! use erpd::prelude::*;
+//!
+//! let fault = FaultModel::default().with_loss_prob(0.2).with_seed(7);
+//! let system = SystemConfig::new(Strategy::Ours)
+//!     .with_network(NetworkConfig::default().with_fault(fault))
+//!     .with_server(ServerConfig::default().with_coast_horizon(1.0));
+//! let cfg = RunConfig::new(
+//!     Strategy::Ours,
+//!     ScenarioConfig::default().with_kind(ScenarioKind::UnprotectedLeftTurn),
+//! )
+//! .with_system(system);
+//! let result = run(cfg)?;
+//! println!(
+//!     "delivery ratio {:.2}, staleness p95 {:.2}s",
+//!     result.delivery_ratio, result.staleness_p95
+//! );
+//! # Ok::<(), Error>(())
 //! ```
 //!
 //! # Features
@@ -58,7 +84,7 @@ pub use erpd_tracking as tracking;
 ///     Strategy::Ours,
 ///     ScenarioConfig::default().with_kind(ScenarioKind::RedLightViolation),
 /// );
-/// let result = run(cfg);
+/// let result = run(cfg).expect("valid configuration");
 /// assert!(result.safe_passage);
 /// ```
 pub mod prelude {
@@ -68,9 +94,9 @@ pub mod prelude {
         RelevanceConfig, RelevanceMatrix, RelevanceMode,
     };
     pub use erpd_edge::{
-        run, run_seeds, AveragedResult, EdgeServer, FrameReport, ModuleTimes, ModuleTimesMs,
-        NetworkConfig, RunConfig, RunResult, ServerConfig, ServerFrame, Strategy, System,
-        SystemConfig, TRACK_ID_BASE,
+        run, run_seeds, AveragedResult, EdgeServer, Error, FaultModel, FrameReport, ModuleTimes,
+        ModuleTimesMs, NetworkConfig, RunConfig, RunResult, ServerConfig, ServerFrame, Strategy,
+        System, SystemConfig, TRACK_ID_BASE,
     };
     pub use erpd_geometry::{Transform3, Vec2, Vec3};
     pub use erpd_par::{max_threads, set_max_threads};

@@ -17,7 +17,7 @@ fn single_always_collides_in_both_scenarios() {
         ScenarioKind::RedLightViolation,
     ] {
         for seed in [0, 1] {
-            let r = run(RunConfig::new(Strategy::Single, scenario(kind, seed, 30.0)));
+            let r = run(RunConfig::new(Strategy::Single, scenario(kind, seed, 30.0))).unwrap();
             assert!(!r.safe_passage, "{kind:?} seed {seed} must collide");
             assert_eq!(r.min_distance, 0.0);
         }
@@ -30,7 +30,7 @@ fn ours_prevents_both_scenarios_at_30kmh() {
         ScenarioKind::UnprotectedLeftTurn,
         ScenarioKind::RedLightViolation,
     ] {
-        let r = run(RunConfig::new(Strategy::Ours, scenario(kind, 0, 30.0)));
+        let r = run(RunConfig::new(Strategy::Ours, scenario(kind, 0, 30.0))).unwrap();
         assert!(r.safe_passage, "{kind:?}: {r:?}");
         assert!(r.min_distance > 0.5, "{kind:?}: min distance {}", r.min_distance);
     }
@@ -39,8 +39,8 @@ fn ours_prevents_both_scenarios_at_30kmh() {
 #[test]
 fn ours_beats_emp_on_min_distance() {
     let kind = ScenarioKind::UnprotectedLeftTurn;
-    let ours = run(RunConfig::new(Strategy::Ours, scenario(kind, 0, 30.0)));
-    let emp = run(RunConfig::new(Strategy::Emp, scenario(kind, 0, 30.0)));
+    let ours = run(RunConfig::new(Strategy::Ours, scenario(kind, 0, 30.0))).unwrap();
+    let emp = run(RunConfig::new(Strategy::Emp, scenario(kind, 0, 30.0))).unwrap();
     // Fig 11 shape: with relevance-aware scheduling the ego is warned
     // earlier, so the clearance is at least as large.
     assert!(
@@ -66,10 +66,10 @@ fn emp_degrades_under_tight_downlink() {
             RunConfig::new(Strategy::Emp, scenario(kind, seed, 40.0)).with_system(tight);
         let rc_ours =
             RunConfig::new(Strategy::Ours, scenario(kind, seed, 40.0)).with_system(tight);
-        if !run(rc_emp).safe_passage {
+        if !run(rc_emp).unwrap().safe_passage {
             unsafe_emp += 1;
         }
-        if !run(rc_ours).safe_passage {
+        if !run(rc_ours).unwrap().safe_passage {
             unsafe_ours += 1;
         }
     }
@@ -85,8 +85,8 @@ fn deterministic_given_seed() {
         Strategy::Ours,
         scenario(ScenarioKind::RedLightViolation, 3, 30.0),
     );
-    let a = run(cfg);
-    let b = run(cfg);
+    let a = run(cfg).unwrap();
+    let b = run(cfg).unwrap();
     assert_eq!(a.safe_passage, b.safe_passage);
     assert_eq!(a.min_distance, b.min_distance);
     assert_eq!(a.total_collisions, b.total_collisions);

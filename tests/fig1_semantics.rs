@@ -22,7 +22,7 @@ fn pedestrian_disseminated_to_b_but_not_a() {
     let mut b_got_ped = false;
     let mut a_got_ped_committed = false;
     for _ in 0..160 {
-        sys.tick(&mut s.world);
+        sys.tick(&mut s.world).unwrap();
         let sf = sys.last_server_frame();
         // Find the server's id for the pedestrian (a tracked detection).
         if let Some(ped) = s.world.pedestrian(s.hazard) {

@@ -2,11 +2,19 @@
 //! stepped with one worker thread and with several must produce identical
 //! frame reports, field for field — only the `times` block (wall clock) is
 //! exempt. This is the contract that lets the parallel pipeline replace
-//! the sequential one without re-validating any figure.
+//! the sequential one without re-validating any figure. The fault layer is
+//! under the same contract: its draws are pure hashes of
+//! `(seed, frame, vehicle, stream)`, so an impaired channel must be exactly
+//! as thread-count-independent as an ideal one.
 
 use erpd::prelude::*;
 
-fn run_reports(strategy: Strategy, threads: usize, frames: usize) -> Vec<FrameReport> {
+fn run_reports(
+    strategy: Strategy,
+    fault: FaultModel,
+    threads: usize,
+    frames: usize,
+) -> Vec<FrameReport> {
     set_max_threads(threads);
     let mut s = Scenario::build(
         ScenarioConfig::default()
@@ -14,10 +22,17 @@ fn run_reports(strategy: Strategy, threads: usize, frames: usize) -> Vec<FrameRe
             .with_n_vehicles(24)
             .with_seed(5),
     );
-    let mut sys = System::new(SystemConfig::new(strategy), &s.world);
+    let cfg = SystemConfig::new(strategy)
+        .with_network(NetworkConfig::default().with_fault(fault))
+        .with_server(ServerConfig::default().with_coast_horizon(if fault.is_ideal() {
+            0.0
+        } else {
+            1.0
+        }));
+    let mut sys = System::new(cfg, &s.world);
     let mut reports = Vec::with_capacity(frames);
     for _ in 0..frames {
-        reports.push(sys.tick(&mut s.world));
+        reports.push(sys.tick(&mut s.world).expect("valid configuration"));
         s.world.step();
     }
     reports
@@ -41,20 +56,55 @@ fn assert_reports_identical(base: &[FrameReport], wide: &[FrameReport]) {
             a.predicted_trajectories, b.predicted_trajectories,
             "frame {k}: predicted trajectories"
         );
+        assert_eq!(
+            a.expected_uploads, b.expected_uploads,
+            "frame {k}: expected uploads"
+        );
+        assert_eq!(
+            a.delivered_uploads, b.delivered_uploads,
+            "frame {k}: delivered uploads"
+        );
+        assert_eq!(a.lost_uploads, b.lost_uploads, "frame {k}: lost uploads");
+        assert_eq!(a.late_uploads, b.late_uploads, "frame {k}: late uploads");
+        assert_eq!(
+            a.truncated_uploads, b.truncated_uploads,
+            "frame {k}: truncated uploads"
+        );
+        assert_eq!(
+            a.coasted_objects, b.coasted_objects,
+            "frame {k}: coasted objects"
+        );
+        assert_eq!(a.staleness, b.staleness, "frame {k}: staleness samples");
     }
 }
 
-// One #[test] covers both strategies: the thread-count override is process
-// wide, so sequential use within a single test cannot race the harness.
+// One #[test] covers every case: the thread-count override is process wide,
+// so sequential use within a single test cannot race the harness.
 #[test]
 fn thread_count_never_changes_the_reports() {
-    let edge_base = run_reports(Strategy::Ours, 1, 40);
-    let edge_wide = run_reports(Strategy::Ours, 4, 40);
+    let ideal = FaultModel::default();
+    let edge_base = run_reports(Strategy::Ours, ideal, 1, 40);
+    let edge_wide = run_reports(Strategy::Ours, ideal, 4, 40);
     assert_reports_identical(&edge_base, &edge_wide);
 
-    let v2v_base = run_reports(Strategy::V2v, 1, 20);
-    let v2v_wide = run_reports(Strategy::V2v, 4, 20);
+    let v2v_base = run_reports(Strategy::V2v, ideal, 1, 20);
+    let v2v_wide = run_reports(Strategy::V2v, ideal, 4, 20);
     assert_reports_identical(&v2v_base, &v2v_wide);
+
+    // Faults enabled: loss, jitter, churn, and truncation all active.
+    let faulty = FaultModel::default()
+        .with_loss_prob(0.2)
+        .with_jitter(0.02)
+        .with_churn_prob(0.05)
+        .with_truncate_prob(0.2)
+        .with_seed(11);
+    let faulty_base = run_reports(Strategy::Ours, faulty, 1, 40);
+    let faulty_wide = run_reports(Strategy::Ours, faulty, 4, 40);
+    assert_reports_identical(&faulty_base, &faulty_wide);
+    assert!(
+        faulty_base.iter().any(|r| r.lost_uploads > 0),
+        "the faulty run must actually lose uploads"
+    );
 
     set_max_threads(0); // restore the default for the rest of the binary
     assert!(max_threads() >= 1);

@@ -1,6 +1,6 @@
-//! Criterion bench: crowd clustering vs DBSCAN (the runtime side of Fig. 4).
+//! Micro-benchmark: crowd clustering vs DBSCAN (the runtime side of Fig. 4).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use erpd_bench::runner::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use erpd_bench::fig04::intersection_pedestrians;
 use erpd_tracking::{cluster_crowds, cluster_dbscan, CrowdParams};
 use std::hint::black_box;

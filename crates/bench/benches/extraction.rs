@@ -1,7 +1,7 @@
-//! Criterion bench: the vehicle-side Moving Objects Extraction pipeline
+//! Micro-benchmark: the vehicle-side Moving Objects Extraction pipeline
 //! (the dominant module of Fig. 14b).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use erpd_bench::runner::{criterion_group, criterion_main, Criterion};
 use erpd_geometry::{Obb2, Pose2, Vec2};
 use erpd_pointcloud::{dbscan, DbscanParams, ExtractionConfig, GroundFilter, MovingObjectExtractor};
 use erpd_sim::{scan, LidarConfig, LidarTarget};

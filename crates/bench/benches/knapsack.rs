@@ -1,7 +1,7 @@
-//! Criterion bench: the dissemination knapsack (paper Fig. 14b reports the
+//! Micro-benchmark: the dissemination knapsack (paper Fig. 14b reports the
 //! greedy decision at ~1 ms; the DP is the ablation yardstick).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use erpd_bench::runner::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use erpd_bench::ablation::dissemination_instance;
 use erpd_core::{dp_knapsack, greedy_knapsack};
 use std::hint::black_box;

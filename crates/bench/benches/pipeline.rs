@@ -1,7 +1,7 @@
-//! Criterion bench: the server-side pipeline per frame (map building +
+//! Micro-benchmark: the server-side pipeline per frame (map building +
 //! tracking + prediction + relevance), i.e. the server rows of Fig. 14b.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use erpd_bench::runner::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use erpd_edge::{EdgeServer, ServerConfig, Strategy, System, SystemConfig};
 use erpd_sim::{IntersectionMap, Scenario, ScenarioConfig, ScenarioKind};
 use std::hint::black_box;

@@ -1,4 +1,4 @@
-//! Criterion bench: frame throughput of the parallel pipeline as the
+//! Micro-benchmark: frame throughput of the parallel pipeline as the
 //! number of uploading vehicles and the worker-thread count grow.
 //!
 //! The scenario keeps the paper's 40-vehicle cast and sweeps the connected
@@ -12,7 +12,7 @@
 //! cargo bench -p erpd-bench --bench pipeline_scaling
 //! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use erpd_bench::runner::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use erpd_edge::{System, SystemConfig};
 use erpd_sim::{Scenario, ScenarioConfig, ScenarioKind};
 use std::hint::black_box;

@@ -1,7 +1,7 @@
-//! Criterion bench: pairwise relevance estimation at increasing object
+//! Micro-benchmark: pairwise relevance estimation at increasing object
 //! counts (the Relevance Estimation module).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use erpd_bench::runner::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use erpd_core::{trajectory_relevance, RelevanceConfig};
 use erpd_geometry::Vec2;
 use erpd_tracking::{predict_ctrv, ObjectId, ObjectKind, PredictedTrajectory, PredictorConfig};

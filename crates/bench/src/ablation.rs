@@ -12,8 +12,8 @@ use erpd_core::{
 };
 use erpd_edge::{run_seeds, Error, RunConfig, ServerConfig, Strategy, SystemConfig};
 use erpd_sim::{ScenarioConfig, ScenarioKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use erpd_rand::rngs::StdRng;
+use erpd_rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 /// Synthesises a dissemination-shaped knapsack instance: relevance values

@@ -7,8 +7,8 @@ use erpd_geometry::Vec2;
 use erpd_tracking::{
     cluster_crowds, cluster_dbscan, mean_final_deviation, CrowdParams, ObjectId, Pedestrian,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use erpd_rand::rngs::StdRng;
+use erpd_rand::{Rng, SeedableRng};
 use std::f64::consts::{FRAC_PI_2, PI};
 
 /// Synthesises the paper's Fig. 4(a) setting: pedestrians on the crosswalks

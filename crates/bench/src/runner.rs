@@ -1,0 +1,264 @@
+//! A std-only micro-benchmark runner with a criterion-shaped surface.
+//!
+//! The hermetic build bans crates.io dependencies, so the `benches/`
+//! targets time themselves with [`std::time::Instant`] through this
+//! module instead of criterion. The API mirrors the subset the benches
+//! use — [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId::new`],
+//! [`Bencher::iter`], and the [`criterion_group!`](crate::criterion_group)
+//! / [`criterion_main!`](crate::criterion_main) macros — so a bench file
+//! only changes its `use` line.
+//!
+//! Methodology: each benchmark first runs the closure once to calibrate
+//! how many iterations fit a ~2 ms sample, then takes `sample_size`
+//! samples of that many iterations and reports the min / median / max
+//! per-iteration time. No outlier rejection, no statistics beyond the
+//! nearest-rank median — this is a regression thermometer, not a
+//! measurement lab.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::Instant;
+
+pub use crate::{criterion_group, criterion_main};
+
+/// Per-sample wall-time target, nanoseconds: iterations per sample are
+/// calibrated so one sample takes roughly this long.
+const SAMPLE_TARGET_NS: u128 = 2_000_000;
+
+/// Hard cap on iterations per sample, so a sub-nanosecond closure cannot
+/// spin for minutes.
+const MAX_ITERS_PER_SAMPLE: u128 = 100_000;
+
+/// Top-level runner handle (mirrors `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples each benchmark in the group takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one parameterised benchmark of the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Runs one unparameterised benchmark of the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{name}", self.name);
+        run_benchmark(&label, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for criterion surface compatibility).
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark label (mirrors
+/// `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A label of the form `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+}
+
+/// Hands the closure under test to the timing loop.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`: one calibration call, then `sample_size` samples of a
+    /// calibrated iteration count each. The closure's return value is
+    /// routed through [`black_box`] so the work is not optimised away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let t = Instant::now();
+        black_box(f());
+        let once_ns = t.elapsed().as_nanos().max(1);
+        let iters = (SAMPLE_TARGET_NS / once_ns).clamp(1, MAX_ITERS_PER_SAMPLE) as usize;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Per-iteration samples collected by the last [`iter`](Self::iter)
+    /// call, nanoseconds.
+    pub fn samples_ns(&self) -> &[f64] {
+        &self.samples_ns
+    }
+}
+
+/// Runs one benchmark and prints its `min / median / max` line.
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        sample_size,
+        samples_ns: Vec::with_capacity(sample_size),
+    };
+    f(&mut b);
+    let mut s = b.samples_ns;
+    if s.is_empty() {
+        println!("{label:<48} (no samples — Bencher::iter never called)");
+        return;
+    }
+    s.sort_by(|a, b| a.total_cmp(b));
+    let min = s[0];
+    let median = s[s.len() / 2];
+    let max = s[s.len() - 1];
+    println!(
+        "{label:<48} time: [{} {} {}]  ({} samples)",
+        format_ns(min),
+        format_ns(median),
+        format_ns(max),
+        s.len()
+    );
+}
+
+/// Pretty-prints a duration in ns/µs/ms/s with three significant figures.
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Expands to a function running each benchmark function against one
+/// [`Criterion`] (mirrors `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::runner::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Expands to `fn main` running the listed groups (mirrors
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_the_requested_samples() {
+        let mut b = Bencher {
+            sample_size: 7,
+            samples_ns: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples_ns().len(), 7);
+        assert!(b.samples_ns().iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn benchmark_id_joins_name_and_parameter() {
+        assert_eq!(BenchmarkId::new("greedy", 50).label, "greedy/50");
+        assert_eq!(BenchmarkId::new("vehicles_4", "8").label, "vehicles_4/8");
+    }
+
+    #[test]
+    fn group_respects_sample_size() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("test_group");
+        g.sample_size(3);
+        let mut seen = 0usize;
+        g.bench_with_input(BenchmarkId::new("case", 1), &5u64, |b, &input| {
+            b.iter(|| input * 2);
+            seen = b.samples_ns().len();
+        });
+        assert_eq!(seen, 3);
+        g.finish();
+    }
+
+    #[test]
+    fn format_ns_picks_sane_units() {
+        assert_eq!(format_ns(12.3), "12.3 ns");
+        assert_eq!(format_ns(4_560.0), "4.56 µs");
+        assert_eq!(format_ns(7_890_000.0), "7.89 ms");
+        assert_eq!(format_ns(1.2e9), "1.20 s");
+    }
+}

@@ -6,7 +6,7 @@ use erpd_core::{
 };
 use erpd_geometry::Vec2;
 use erpd_tracking::{predict_ctrv, ObjectId, ObjectKind, PredictorConfig};
-use proptest::prelude::*;
+use erpd_rand::proptest::prelude::*;
 
 fn items() -> impl Strategy<Value = Vec<KnapsackItem>> {
     proptest::collection::vec(

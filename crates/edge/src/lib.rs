@@ -36,12 +36,16 @@ mod metrics;
 mod network;
 mod par;
 mod server;
+mod stages;
 mod system;
 mod upload;
 
 pub use erpd_core::Error;
 pub use fault::FaultModel;
-pub use metrics::{run, run_seeds, AveragedResult, ModuleTimesMs, RunConfig, RunResult};
+pub use metrics::{percentile, run, run_seeds, AveragedResult, ModuleTimesMs, RunConfig, RunResult};
+pub use stages::{
+    StageAccumulator, StageSample, StageSummary, StageTimer, StageTimes, STAGE_NAMES,
+};
 pub use network::NetworkConfig;
 pub use server::{DetectionSummary, EdgeServer, ServerConfig, ServerFrame, TRACK_ID_BASE};
 pub use system::{FrameReport, ModuleTimes, System, SystemConfig, V2V_CHANNEL_BPS, V2V_RANGE_M};

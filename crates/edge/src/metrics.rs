@@ -1,6 +1,7 @@
 //! Run-level evaluation: drives a scenario under a strategy and aggregates
 //! the metrics every figure of the paper's evaluation plots.
 
+use crate::stages::{StageAccumulator, StageSummary};
 use crate::{ModuleTimes, Strategy, System, SystemConfig};
 use erpd_core::Error;
 use erpd_sim::{EntityKind, Scenario, ScenarioConfig};
@@ -81,6 +82,9 @@ pub struct RunResult {
     pub coasted_objects: f64,
     /// Mean per-module times, milliseconds.
     pub module_times_ms: ModuleTimesMs,
+    /// Per-stage wall-time summaries (mean/p50/p95 ms and items per
+    /// frame), in pipeline order.
+    pub stages: [StageSummary; 6],
 }
 
 /// Per-module mean times in milliseconds (Fig. 14b).
@@ -124,9 +128,11 @@ pub fn run(config: RunConfig) -> Result<RunResult, Error> {
     let mut delivered_uploads = 0usize;
     let mut coasted_sum = 0usize;
     let mut staleness: Vec<f64> = Vec::new();
+    let mut stage_acc = StageAccumulator::new();
 
     for _ in 0..steps {
         let report = system.tick(&mut scenario.world)?;
+        stage_acc.record(&report.stages);
         frames += 1;
         expected_uploads += report.expected_uploads;
         delivered_uploads += report.delivered_uploads;
@@ -214,17 +220,24 @@ pub fn run(config: RunConfig) -> Result<RunResult, Error> {
             dissemination: times.dissemination / nf * 1e3,
             downlink_tx: times.downlink_tx / nf * 1e3,
         },
+        stages: stage_acc.summaries(),
     })
 }
 
 /// The `q`-quantile of `samples` (sorted in place); 0 for an empty set.
-fn percentile(samples: &mut [f64], q: f64) -> f64 {
+///
+/// Uses the nearest-rank definition: the smallest sample such that at
+/// least `q·n` samples are ≤ it, i.e. index `ceil(q·n) - 1` after
+/// sorting. The previous truncating index (`(n·q) as usize`) was biased
+/// one rank high — for 20 samples it reported the maximum as the p95.
+pub fn percentile(samples: &mut [f64], q: f64) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
     samples.sort_by(|a, b| a.total_cmp(b));
-    let idx = ((samples.len() as f64 * q) as usize).min(samples.len() - 1);
-    samples[idx]
+    let n = samples.len();
+    let rank = (q * n as f64).ceil() as usize;
+    samples[rank.clamp(1, n) - 1]
 }
 
 /// Runs `seeds` runs and returns the fraction with safe passage plus the
@@ -390,6 +403,55 @@ mod tests {
         );
         let cfg = RunConfig::new(Strategy::Ours, sc).with_system(system);
         assert!(matches!(run(cfg), Err(Error::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        // 20 samples 1..=20: p95 is the 19th order statistic (ceil(0.95·20)
+        // = rank 19), NOT the maximum — the old truncating index returned
+        // 20.0 here.
+        let mut s: Vec<f64> = (1..=20).map(f64::from).collect();
+        assert_eq!(percentile(&mut s, 0.95), 19.0);
+        assert_eq!(percentile(&mut s, 0.5), 10.0);
+        assert_eq!(percentile(&mut s, 1.0), 20.0);
+        // Tiny q clamps to the minimum, not below it.
+        assert_eq!(percentile(&mut s, 0.001), 1.0);
+
+        // 10 samples: p95 → rank ceil(9.5) = 10 → the maximum is correct
+        // here; p50 → rank 5.
+        let mut s: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(percentile(&mut s, 0.95), 10.0);
+        assert_eq!(percentile(&mut s, 0.5), 5.0);
+
+        // Unsorted input is sorted in place; empty input reports 0.
+        let mut s = vec![3.0, 1.0, 2.0];
+        assert_eq!(percentile(&mut s, 0.5), 2.0);
+        assert_eq!(percentile(&mut [], 0.95), 0.0);
+    }
+
+    #[test]
+    fn stage_summaries_cover_the_pipeline() {
+        use crate::STAGE_NAMES;
+        let sc = scenario_cfg(ScenarioKind::UnprotectedLeftTurn);
+        let r = run(RunConfig::new(Strategy::Ours, sc).with_duration(3.0)).unwrap();
+        let names: Vec<&str> = r.stages.iter().map(|s| s.name).collect();
+        assert_eq!(names, STAGE_NAMES);
+        for s in &r.stages {
+            assert!(s.mean_ms >= 0.0 && s.p50_ms >= 0.0 && s.p95_ms >= 0.0);
+        }
+        // The busy stages see work every frame once vehicles are scanned.
+        let by_name = |n: &str| r.stages.iter().find(|s| s.name == n).unwrap();
+        assert!(by_name("extraction").items_per_frame > 0.0);
+        assert!(by_name("tracking").items_per_frame > 0.0);
+        assert!(by_name("prediction").items_per_frame > 0.0);
+        assert!(by_name("knapsack").items_per_frame > 0.0);
+        // Timers actually ran: tracking + prediction + relevance wall time
+        // is positive over the run.
+        let busy: f64 = ["tracking", "prediction", "relevance"]
+            .iter()
+            .map(|n| by_name(n).mean_ms)
+            .sum();
+        assert!(busy > 0.0, "stage timers must record wall time");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! objects are anonymous — the server's own [`Tracker`] assigns them ids,
 //! offset by [`TRACK_ID_BASE`] to keep the spaces disjoint.
 
+use crate::stages::{StageTimer, StageTimes};
 use crate::{Upload, UploadedObject};
 use erpd_core::{
     build_relevance_matrix_multi, Error, ObjectHypotheses, RelevanceConfig, RelevanceMatrix,
@@ -163,6 +164,10 @@ pub struct ServerFrame {
     pub map_build_time: f64,
     /// Wall time of tracking + prediction + relevance, seconds.
     pub prediction_time: f64,
+    /// Per-stage timings and item counts. The server fills `merge`,
+    /// `tracking`, `prediction`, and `relevance`; the [`crate::System`]
+    /// adds `extraction` and `knapsack` around this frame.
+    pub stages: StageTimes,
 }
 
 impl ServerFrame {
@@ -290,8 +295,12 @@ impl EdgeServer {
             })
             .collect();
         let map_build_time = t_map.elapsed().as_secs_f64();
+        let mut stages = StageTimes::default();
+        let uploaded_objects: usize = uploads.iter().map(|u| u.objects.len()).sum();
+        stages.merge = crate::stages::StageSample::new(map_build_time, uploaded_objects);
 
         let t_predict = Instant::now();
+        let t_track = StageTimer::start();
 
         // --- Track sensed objects over time. ---
         let assigned = self.tracker.update(now, &classified);
@@ -429,6 +438,9 @@ impl EdgeServer {
             }
         }
 
+        stages.tracking = t_track.stop(rule_inputs.len());
+        let t_rules = StageTimer::start();
+
         // --- Rules 1-3 select what to predict. ---
         let selection = apply_rules(&rule_inputs, &self.config.crowd);
         let lane_by_id: BTreeMap<ObjectId, Option<LanePosition>> = rule_inputs
@@ -539,6 +551,8 @@ impl EdgeServer {
             }
         }
         let predicted_trajectories = predicted_count + selection.crowds.len();
+        stages.prediction = t_rules.stop(predicted_trajectories);
+        let t_relevance = StageTimer::start();
 
         // --- Visibility from uploads: receiver r already perceives o if r
         // uploaded a cluster at o's position (paper §III-A). ---
@@ -572,6 +586,7 @@ impl EdgeServer {
             self.config.relevance,
             visible,
         )?;
+        stages.relevance = t_relevance.stop(objects.len());
         let prediction_time = t_predict.elapsed().as_secs_f64();
 
         let staleness: Vec<f64> = ages.values().copied().collect();
@@ -586,6 +601,7 @@ impl EdgeServer {
             staleness,
             map_build_time,
             prediction_time,
+            stages,
         })
     }
 

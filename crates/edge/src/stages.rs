@@ -1,0 +1,261 @@
+//! Per-stage observability: scoped wall-clock timers and item counters
+//! for the six pipeline stages — extraction, merge, tracking, prediction,
+//! relevance, and knapsack — surfaced per frame through
+//! [`FrameReport::stages`](crate::FrameReport) and aggregated across a run
+//! by [`StageAccumulator`].
+//!
+//! The stage clock measures wall time only; item counts are deterministic,
+//! so a [`StageTimes`] compares equal across reruns everywhere except its
+//! `seconds` fields.
+
+use std::time::Instant;
+
+/// Canonical stage names, in pipeline order. Aggregation and the JSON
+/// emitter iterate in this order so output is stable.
+pub const STAGE_NAMES: [&str; 6] = [
+    "extraction",
+    "merge",
+    "tracking",
+    "prediction",
+    "relevance",
+    "knapsack",
+];
+
+/// One stage's measurement for one frame: wall time plus how many items
+/// the stage handled (uploads extracted, detections tracked, candidate
+/// pairs ranked, ...).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageSample {
+    /// Wall time spent in the stage, seconds.
+    pub seconds: f64,
+    /// Work items the stage processed this frame.
+    pub items: usize,
+}
+
+impl StageSample {
+    /// A sample with an explicit duration and item count.
+    pub fn new(seconds: f64, items: usize) -> Self {
+        StageSample { seconds, items }
+    }
+
+    /// Folds another sample in: durations take the per-frame maximum
+    /// (stages on different servers run concurrently), item counts add.
+    pub fn fold_max(&mut self, other: StageSample) {
+        self.seconds = self.seconds.max(other.seconds);
+        self.items += other.items;
+    }
+}
+
+/// A scoped stage timer: start it, do the work, then [`stop`](Self::stop)
+/// with the number of items handled to get the [`StageSample`].
+#[derive(Debug)]
+pub struct StageTimer {
+    start: Instant,
+}
+
+impl StageTimer {
+    /// Starts the clock.
+    pub fn start() -> Self {
+        StageTimer { start: Instant::now() }
+    }
+
+    /// Stops the clock and records how many items the stage processed.
+    pub fn stop(self, items: usize) -> StageSample {
+        StageSample {
+            seconds: self.start.elapsed().as_secs_f64(),
+            items,
+        }
+    }
+}
+
+/// Per-frame timings and counters for every pipeline stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimes {
+    /// On-vehicle object extraction (slowest vehicle this frame).
+    pub extraction: StageSample,
+    /// Traffic-map merge: voxel dedup plus cross-vehicle association.
+    pub merge: StageSample,
+    /// Tracker update and connected-vehicle state assembly.
+    pub tracking: StageSample,
+    /// Rules 1–3 selection plus trajectory prediction.
+    pub prediction: StageSample,
+    /// Relevance-matrix assembly.
+    pub relevance: StageSample,
+    /// Dissemination planning (greedy knapsack or baseline).
+    pub knapsack: StageSample,
+}
+
+impl StageTimes {
+    /// The stages in pipeline order, paired with their canonical names.
+    pub fn iter(&self) -> [(&'static str, StageSample); 6] {
+        [
+            (STAGE_NAMES[0], self.extraction),
+            (STAGE_NAMES[1], self.merge),
+            (STAGE_NAMES[2], self.tracking),
+            (STAGE_NAMES[3], self.prediction),
+            (STAGE_NAMES[4], self.relevance),
+            (STAGE_NAMES[5], self.knapsack),
+        ]
+    }
+
+    /// Total wall time across all stages, seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.iter().iter().map(|(_, s)| s.seconds).sum()
+    }
+
+    /// Folds another frame's server-side stages in (concurrent V2V
+    /// servers): durations take the maximum, item counts add.
+    pub fn fold_max(&mut self, other: &StageTimes) {
+        self.extraction.fold_max(other.extraction);
+        self.merge.fold_max(other.merge);
+        self.tracking.fold_max(other.tracking);
+        self.prediction.fold_max(other.prediction);
+        self.relevance.fold_max(other.relevance);
+        self.knapsack.fold_max(other.knapsack);
+    }
+}
+
+/// Aggregated statistics for one stage across a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageSummary {
+    /// Canonical stage name (one of [`STAGE_NAMES`]).
+    pub name: &'static str,
+    /// Mean wall time per frame, milliseconds.
+    pub mean_ms: f64,
+    /// Median wall time, milliseconds (nearest-rank).
+    pub p50_ms: f64,
+    /// 95th-percentile wall time, milliseconds (nearest-rank).
+    pub p95_ms: f64,
+    /// Mean work items per frame.
+    pub items_per_frame: f64,
+}
+
+/// Accumulates per-frame [`StageTimes`] into per-stage mean/p50/p95
+/// summaries.
+#[derive(Debug, Clone, Default)]
+pub struct StageAccumulator {
+    samples_ms: [Vec<f64>; 6],
+    items: [u64; 6],
+    frames: u64,
+}
+
+impl StageAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        StageAccumulator::default()
+    }
+
+    /// Number of frames recorded.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Records one frame's stage times.
+    pub fn record(&mut self, stages: &StageTimes) {
+        for (k, (_, sample)) in stages.iter().into_iter().enumerate() {
+            self.samples_ms[k].push(sample.seconds * 1e3);
+            self.items[k] += sample.items as u64;
+        }
+        self.frames += 1;
+    }
+
+    /// Per-stage summaries in pipeline order (all-zero rows when nothing
+    /// was recorded). The fixed array keeps run results `Copy`.
+    pub fn summaries(&self) -> [StageSummary; 6] {
+        let n = self.frames.max(1) as f64;
+        std::array::from_fn(|k| {
+            let name = STAGE_NAMES[k];
+            let mut ms = self.samples_ms[k].clone();
+            let mean = ms.iter().sum::<f64>() / n;
+            StageSummary {
+                name,
+                mean_ms: mean,
+                p50_ms: crate::metrics::percentile(&mut ms, 0.50),
+                p95_ms: crate::metrics::percentile(&mut ms, 0.95),
+                items_per_frame: self.items[k] as f64 / n,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_produces_positive_sample() {
+        let t = StageTimer::start();
+        let mut acc = 0u64;
+        for i in 0..1000u64 {
+            acc = acc.wrapping_add(i * i);
+        }
+        let s = t.stop(acc as usize % 7 + 1);
+        assert!(s.seconds >= 0.0);
+        assert!(s.items >= 1);
+    }
+
+    #[test]
+    fn fold_max_takes_slowest_and_sums_items() {
+        let mut a = StageTimes {
+            merge: StageSample::new(0.002, 3),
+            ..StageTimes::default()
+        };
+        let b = StageTimes {
+            merge: StageSample::new(0.005, 4),
+            tracking: StageSample::new(0.001, 2),
+            ..StageTimes::default()
+        };
+        a.fold_max(&b);
+        assert_eq!(a.merge, StageSample::new(0.005, 7));
+        assert_eq!(a.tracking, StageSample::new(0.001, 2));
+    }
+
+    #[test]
+    fn accumulator_reports_every_stage_in_order() {
+        let mut acc = StageAccumulator::new();
+        for k in 1..=4usize {
+            let mut t = StageTimes::default();
+            t.extraction = StageSample::new(k as f64 * 1e-3, 2);
+            t.knapsack = StageSample::new(k as f64 * 2e-3, 10);
+            acc.record(&t);
+        }
+        let s = acc.summaries();
+        assert_eq!(s.len(), 6);
+        let names: Vec<&str> = s.iter().map(|x| x.name).collect();
+        assert_eq!(names, STAGE_NAMES);
+        let ext = &s[0];
+        assert!((ext.mean_ms - 2.5).abs() < 1e-9);
+        // Nearest-rank over [1, 2, 3, 4] ms.
+        assert_eq!(ext.p50_ms, 2.0);
+        assert_eq!(ext.p95_ms, 4.0);
+        assert_eq!(ext.items_per_frame, 2.0);
+        let knap = &s[5];
+        assert!((knap.mean_ms - 5.0).abs() < 1e-9);
+        assert_eq!(knap.items_per_frame, 10.0);
+    }
+
+    #[test]
+    fn empty_accumulator_reports_zero_rows() {
+        let acc = StageAccumulator::new();
+        assert_eq!(acc.frames(), 0);
+        for row in acc.summaries() {
+            assert_eq!(row.mean_ms, 0.0);
+            assert_eq!(row.p50_ms, 0.0);
+            assert_eq!(row.p95_ms, 0.0);
+            assert_eq!(row.items_per_frame, 0.0);
+        }
+    }
+
+    #[test]
+    fn total_seconds_sums_all_stages() {
+        let t = StageTimes {
+            extraction: StageSample::new(0.001, 1),
+            merge: StageSample::new(0.002, 1),
+            tracking: StageSample::new(0.003, 1),
+            prediction: StageSample::new(0.004, 1),
+            relevance: StageSample::new(0.005, 1),
+            knapsack: StageSample::new(0.006, 1),
+        };
+        assert!((t.total_seconds() - 0.021).abs() < 1e-12);
+    }
+}

@@ -2,6 +2,7 @@
 //! → alerts, for each evaluated strategy.
 
 use crate::fault::FaultStream;
+use crate::stages::{StageSample, StageTimes};
 use crate::{EdgeServer, NetworkConfig, ServerConfig, ServerFrame, Strategy, Upload, VehicleSide};
 use erpd_core::{broadcast_plan, greedy_plan, round_robin_plan, DisseminationPlan, Error};
 use erpd_geometry::Vec2;
@@ -117,6 +118,10 @@ pub struct FrameReport {
     pub staleness: Vec<f64>,
     /// Per-module times.
     pub times: ModuleTimes,
+    /// Per-stage wall times and item counters (extraction, merge,
+    /// tracking, prediction, relevance, knapsack). Only the `seconds`
+    /// fields are wall-clock; item counts are deterministic.
+    pub stages: StageTimes,
 }
 
 impl FrameReport {
@@ -411,6 +416,7 @@ impl System {
         for u in &uploads {
             extraction = extraction.max(u.processing_time);
         }
+        let extraction_stage = StageSample::new(extraction, uploads.len());
 
         // --- The channel: every upload runs through the fault layer. ---
         let plan = self.plan_faults(&uploads);
@@ -487,6 +493,13 @@ impl System {
         alerted.sort_unstable();
         alerted.dedup();
 
+        // Complete the server's stage record with the two stages that run
+        // outside it: on-vehicle extraction and the dissemination knapsack
+        // (candidate items = every (object, receiver) pair it ranked).
+        let mut stages = sf.stages;
+        stages.extraction = extraction_stage;
+        stages.knapsack = StageSample::new(dissemination, sf.sizes.len() * sf.receivers.len());
+
         let report = FrameReport {
             upload_bytes: plan.upload_bytes,
             dissemination_bytes: dplan.total_bytes,
@@ -509,6 +522,7 @@ impl System {
                 dissemination,
                 downlink_tx,
             },
+            stages,
         };
         self.last_server_frame = sf;
         Ok(report)
@@ -625,6 +639,7 @@ impl System {
         let mut prediction = 0.0f64;
         let mut predicted = 0usize;
         let mut coasted = 0usize;
+        let mut stages = StageTimes::default();
         let mut last_frame = ServerFrame::default();
         for r in fused {
             let (rid, relevant, sf) = r?;
@@ -632,6 +647,7 @@ impl System {
                 world.alert(rid);
                 alerted.push(rid);
             }
+            stages.fold_max(&sf.stages);
             map_build = map_build.max(sf.map_build_time);
             prediction = prediction.max(sf.prediction_time);
             predicted = predicted.max(sf.predicted_trajectories);
@@ -643,6 +659,9 @@ impl System {
             }
             last_frame = sf;
         }
+        // On the V2V path extraction still happens per vehicle; there is no
+        // central knapsack, so that stage stays zero.
+        stages.extraction = StageSample::new(extraction, uploads.len());
         self.last_server_frame = last_frame;
         Ok(FrameReport {
             upload_bytes: plan.upload_bytes,
@@ -666,6 +685,7 @@ impl System {
                 dissemination: 0.0,
                 downlink_tx: 0.0,
             },
+            stages,
         })
     }
 }

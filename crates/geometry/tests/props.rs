@@ -4,7 +4,7 @@ use erpd_geometry::angle::{angle_dist, normalize_angle};
 use erpd_geometry::{
     BivariateGaussian, Circle, Interval, Obb2, Polyline2, Pose2, Segment2, Transform3, Vec2, Vec3,
 };
-use proptest::prelude::*;
+use erpd_rand::proptest::prelude::*;
 use std::f64::consts::PI;
 
 fn finite() -> impl Strategy<Value = f64> {

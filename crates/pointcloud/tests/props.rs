@@ -5,7 +5,7 @@ use erpd_pointcloud::{
     compress, dbscan, decompress, max_quantization_error, merge_clouds, DbscanParams,
     GroundFilter, PointCloud,
 };
-use proptest::prelude::*;
+use erpd_rand::proptest::prelude::*;
 
 fn point() -> impl Strategy<Value = Vec3> {
     (-100.0f64..100.0, -100.0f64..100.0, -3.0f64..10.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))

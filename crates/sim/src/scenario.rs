@@ -13,8 +13,8 @@ use crate::{
     Approach, IntersectionMap, RouteSpec, Turn, VehicleParams, World, WorldConfig,
 };
 use erpd_geometry::Vec2;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use erpd_rand::rngs::StdRng;
+use erpd_rand::{Rng, SeedableRng};
 
 /// Which conflict is scripted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

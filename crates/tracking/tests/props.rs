@@ -6,7 +6,7 @@ use erpd_tracking::{
     cluster_crowds, predict_ctrv, CrowdParams, Detection, KalmanConfig, KalmanTracker, ObjectId,
     ObjectKind, Pedestrian, PredictorConfig, Tracker, TrackerConfig,
 };
-use proptest::prelude::*;
+use erpd_rand::proptest::prelude::*;
 use std::f64::consts::PI;
 
 fn ped_strategy() -> impl Strategy<Value = Pedestrian> {

@@ -6,8 +6,8 @@
 //! ```
 
 use erpd::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use erpd_rand::rngs::StdRng;
+use erpd_rand::{Rng, SeedableRng};
 use std::f64::consts::PI;
 
 /// Two opposing pedestrian streams on one crosswalk, as in the paper's

@@ -5,7 +5,8 @@
 #   scripts/ci.sh --quick    # skip clippy (e.g. while iterating)
 #
 # The tier-1 gate is the first two steps; clippy is kept at -D warnings so
-# lint debt cannot accumulate.
+# lint debt cannot accumulate. Every step runs --offline: the workspace is
+# hermetic (no crates.io dependencies), so touching the network is a bug.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,21 +19,21 @@ for arg in "$@"; do
     esac
 done
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --offline"
+cargo build --release --offline
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q --offline"
+cargo test -q --offline
 
-echo "==> cargo build --release --no-default-features"
-cargo build --release --no-default-features
+echo "==> cargo build --release --offline --no-default-features"
+cargo build --release --offline --no-default-features
 
-echo "==> cargo test -q --no-default-features"
-cargo test -q --no-default-features
+echo "==> cargo test -q --offline --no-default-features"
+cargo test -q --offline --no-default-features
 
 if [ "$quick" -eq 0 ]; then
-    echo "==> cargo clippy --all-targets -- -D warnings"
-    cargo clippy --all-targets -- -D warnings
+    echo "==> cargo clippy --all-targets --offline -- -D warnings"
+    cargo clippy --all-targets --offline -- -D warnings
 fi
 
 echo "ok"

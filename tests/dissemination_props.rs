@@ -2,11 +2,11 @@
 //! are always feasible, relevance-sorted, and consistent with the matrix.
 
 use erpd::prelude::*;
-use proptest::prelude::*;
+use erpd_rand::proptest::prelude::*;
 // Pin the name: both preludes export a `Strategy` (erpd's enum, proptest's
 // trait); the explicit import resolves the glob-glob ambiguity in favour of
 // the trait this file actually uses.
-use proptest::strategy::Strategy;
+use erpd_rand::proptest::strategy::Strategy;
 use std::collections::BTreeMap;
 
 fn arbitrary_problem() -> impl Strategy<Value = (RelevanceMatrix, BTreeMap<ObjectId, u64>, Vec<ObjectId>)> {

@@ -12,7 +12,7 @@
 //! patterns.
 
 use erpd::prelude::*;
-use proptest::prelude::*;
+use erpd_rand::proptest::prelude::*;
 // Pin the name: both preludes export a `Strategy` (erpd's enum, proptest's
 // trait); the explicit import resolves the glob-glob ambiguity in favour of
 // the enum this file actually uses.

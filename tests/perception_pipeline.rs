@@ -11,7 +11,9 @@ fn extraction_recovers_moving_objects_from_simulated_frames() {
             .with_kind(ScenarioKind::UnprotectedLeftTurn)
             .with_n_vehicles(20)
             .with_n_pedestrians(6)
-            .with_seed(9),
+            // Seed re-pinned for the erpd-rand streams: the cast must put a
+            // cleanly separable moving object in the ego's view by frame 2.
+            .with_seed(1),
     );
     let ego = s.ego;
     let filter = GroundFilter::new(1.8, 0.1);

@@ -1,10 +1,46 @@
 //! Micro-benchmark: the server-side pipeline per frame (map building +
-//! tracking + prediction + relevance), i.e. the server rows of Fig. 14b.
+//! tracking + prediction + relevance), i.e. the server rows of Fig. 14b,
+//! plus a single-stage benchmark of the spatial-hash association.
 
 use erpd_bench::runner::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use erpd_edge::{EdgeServer, ServerConfig, Strategy, System, SystemConfig};
+use erpd_edge::{
+    AssociateStage, EdgeServer, FrameCx, ServerConfig, Stage, Strategy, System, SystemConfig,
+    TrafficMap, Upload, UploadedObject,
+};
+use erpd_geometry::{Pose2, Vec2, Vec3};
+use erpd_pointcloud::PointCloud;
 use erpd_sim::{IntersectionMap, Scenario, ScenarioConfig, ScenarioKind};
 use std::hint::black_box;
+
+/// A crowded frame: `n` uploaders each reporting the same dense object
+/// field with small per-vehicle offsets (the association worst case).
+fn crowded_uploads(n: u64) -> Vec<Upload> {
+    let mut uploads = Vec::new();
+    for v in 0..n {
+        let mut objects = Vec::new();
+        for k in 0..24u64 {
+            let jx = ((v * 7 + k * 13) % 11) as f64 * 0.17;
+            let jy = ((v * 5 + k * 3) % 13) as f64 * 0.13;
+            let x = 8.0 * (k % 6) as f64 + jx;
+            let y = 6.0 * (k / 6) as f64 + jy;
+            let points: PointCloud = (0..16)
+                .map(|i| Vec3::new(x + 0.1 * (i % 4) as f64, y + 0.1 * (i / 4) as f64, 0.8))
+                .collect();
+            objects.push(UploadedObject {
+                centroid: Vec2::new(x + 0.2, y + 0.2),
+                points,
+            });
+        }
+        uploads.push(Upload {
+            vehicle_id: v + 1,
+            pose: Pose2::new(Vec2::new(-120.0 - 5.0 * v as f64, 0.0), 0.0),
+            objects,
+            bytes: 1000,
+            processing_time: 0.001,
+        });
+    }
+    uploads
+}
 
 fn bench_server(c: &mut Criterion) {
     let mut group = c.benchmark_group("edge_pipeline");
@@ -35,6 +71,20 @@ fn bench_server(c: &mut Criterion) {
     group.bench_function("server_empty_frame", |b| {
         b.iter(|| black_box(server.process(0.0, &[])))
     });
+    // The association stage alone on a crowded frame (spatial-hash path).
+    for n in [8u64, 24] {
+        let uploads = crowded_uploads(n);
+        let mut stage = AssociateStage::new(&ServerConfig::default());
+        group.bench_with_input(BenchmarkId::new("associate_crowded", n), &n, |b, _| {
+            b.iter(|| {
+                let cx = FrameCx {
+                    now: 0.0,
+                    uploads: &uploads,
+                };
+                black_box(stage.run(&cx, TrafficMap::default()).unwrap())
+            })
+        });
+    }
     group.finish();
 }
 

@@ -62,6 +62,49 @@ impl DisseminationPlan {
     }
 }
 
+/// Borrowed view of everything a dissemination planner needs for one
+/// frame: the relevance matrix, the per-object wire sizes, and the
+/// connected receivers. This is the single entry point the edge's
+/// swappable dissemination stages go through — each planner below is a
+/// method, so a new strategy only has to accept a `PlanInputs`.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanInputs<'a> {
+    /// The relevance matrix `R_ij`.
+    pub matrix: &'a RelevanceMatrix,
+    /// Perception-data sizes per object, bytes.
+    pub sizes: &'a BTreeMap<ObjectId, u64>,
+    /// Connected vehicles able to receive data.
+    pub receivers: &'a [ObjectId],
+}
+
+impl PlanInputs<'_> {
+    /// Candidate `(object, receiver)` pairs a planner ranks this frame.
+    pub fn candidate_pairs(&self) -> usize {
+        self.sizes.len() * self.receivers.len()
+    }
+
+    /// The paper's Algorithm 1 ([`greedy_plan`]).
+    pub fn greedy(&self, budget: u64) -> DisseminationPlan {
+        greedy_plan(self.matrix, self.sizes, budget)
+    }
+
+    /// Exact DP ablation yardstick ([`optimal_plan`]).
+    pub fn optimal(&self, budget: u64, granularity: u64) -> DisseminationPlan {
+        optimal_plan(self.matrix, self.sizes, budget, granularity)
+    }
+
+    /// The EMP-style rotation ([`round_robin_plan`]): returns the plan and
+    /// the offset that resumes the rotation next frame.
+    pub fn round_robin(&self, budget: u64, offset: usize) -> (DisseminationPlan, usize) {
+        round_robin_plan(self.sizes, self.receivers, self.matrix, budget, offset)
+    }
+
+    /// The `Unlimited` baseline ([`broadcast_plan`]).
+    pub fn broadcast(&self) -> DisseminationPlan {
+        broadcast_plan(self.sizes, self.receivers, self.matrix)
+    }
+}
+
 /// Flattens a relevance matrix into deterministic (pair, item) lists.
 fn flatten(
     matrix: &RelevanceMatrix,
@@ -333,6 +376,26 @@ mod tests {
             round_robin_plan(&BTreeMap::new(), &[], &RelevanceMatrix::new(), 1000, 5);
         assert!(plan.is_empty());
         assert_eq!(next, 0);
+    }
+
+    #[test]
+    fn plan_inputs_methods_match_the_free_functions() {
+        let m = matrix(&[(10, 1, 0.9), (10, 2, 0.8), (11, 1, 0.3)]);
+        let s = sizes(&[(1, 1000), (2, 1000)]);
+        let receivers = [ObjectId(10), ObjectId(11)];
+        let inputs = PlanInputs {
+            matrix: &m,
+            sizes: &s,
+            receivers: &receivers,
+        };
+        assert_eq!(inputs.candidate_pairs(), 4);
+        assert_eq!(inputs.greedy(2000), greedy_plan(&m, &s, 2000));
+        assert_eq!(inputs.optimal(2000, 1), optimal_plan(&m, &s, 2000, 1));
+        assert_eq!(
+            inputs.round_robin(1000, 3),
+            round_robin_plan(&s, &receivers, &m, 1000, 3)
+        );
+        assert_eq!(inputs.broadcast(), broadcast_plan(&s, &receivers, &m));
     }
 
     #[test]

@@ -58,6 +58,7 @@ mod relevance;
 
 pub use dissemination::{
     broadcast_plan, greedy_plan, optimal_plan, round_robin_plan, Assignment, DisseminationPlan,
+    PlanInputs,
 };
 pub use error::Error;
 pub use following::{

@@ -3,8 +3,11 @@
 //!
 //! * [`VehicleSide`] — vehicle-side processing per strategy (ours / EMP /
 //!   unlimited),
-//! * [`EdgeServer`] — traffic map, tracking, rule-based prediction,
-//!   relevance matrix,
+//! * [`Stage`] / [`PipelineBuilder`] — the typed stage graph of the server
+//!   pipeline (merge → associate → track → predict → relevance →
+//!   disseminate) with swappable stage implementations,
+//! * [`EdgeServer`] — the composed server half of that graph: traffic map,
+//!   tracking, rule-based prediction, relevance matrix,
 //! * [`System`] — one object wiring scans → uploads → faulty links →
 //!   server → dissemination plan → driver alerts per frame,
 //! * [`FaultModel`] — seeded, deterministic channel impairments (loss,
@@ -35,6 +38,7 @@ mod fault;
 mod metrics;
 mod network;
 mod par;
+mod pipeline;
 mod server;
 mod stages;
 mod system;
@@ -42,6 +46,12 @@ mod upload;
 
 pub use erpd_core::Error;
 pub use fault::FaultModel;
+pub use pipeline::{
+    AssociateStage, AssociatedDetections, BoxedDisseminationStage, BroadcastDissemination,
+    FrameCx, GreedyDissemination, Kinematics, MergeStage, PipelineBuilder, PlanRequest,
+    PredictStage, Predictions, RelevanceStage, RoundRobinDissemination, Stage, Staged,
+    TrackStage, Tracks, TrafficMap,
+};
 pub use metrics::{percentile, run, run_seeds, AveragedResult, ModuleTimesMs, RunConfig, RunResult};
 pub use stages::{
     StageAccumulator, StageSample, StageSummary, StageTimer, StageTimes, STAGE_NAMES,

@@ -1,0 +1,1467 @@
+//! The typed stage graph behind the edge server (paper Fig. 2).
+//!
+//! Each server module is a [`Stage`]: a typed transform from one frame
+//! artifact to the next, owning its slice of mutable server state and
+//! reporting its own [`StageSample`]. The chain is
+//!
+//! ```text
+//! Uploads → TrafficMap → AssociatedDetections → Tracks → Predictions
+//!         → ServerFrame (relevance matrix) → DisseminationPlan
+//! ```
+//!
+//! where `Uploads` rides in the per-frame [`FrameCx`] so every stage can
+//! see the raw arrivals. [`crate::EdgeServer::process`] composes the five
+//! server stages; [`crate::System`] appends one dissemination stage. A
+//! [`PipelineBuilder`] swaps any stage implementation — the Single / EMP /
+//! Unlimited baselines are alternative dissemination stages
+//! ([`GreedyDissemination`], [`RoundRobinDissemination`],
+//! [`BroadcastDissemination`]) rather than `match` arms.
+//!
+//! The `parallel` feature's fork-join fan-out lives *inside* the stages
+//! that use it (map merge in [`MergeStage`], trajectory fan-out in
+//! [`PredictStage`]), so swapping a stage never changes the threading of
+//! its neighbours.
+
+use crate::server::{DetectionSummary, ServerConfig, ServerFrame, TRACK_ID_BASE};
+use crate::stages::{StageSample, StageTimer};
+use crate::{Upload, UploadedObject};
+use erpd_core::{
+    build_relevance_matrix_multi, DisseminationPlan, Error, ObjectHypotheses, PlanInputs,
+};
+use erpd_geometry::{Pose2, Vec2};
+use erpd_pointcloud::{PointCloud, PointCloudMerger};
+use erpd_sim::{IntersectionMap, LaneLocation, Turn};
+use erpd_tracking::{
+    apply_rules, predict_ctrv, Detection, FollowerLink, LanePosition, ObjectId, ObjectKind,
+    ObjectState, PredictedTrajectory, RuleInput, Tracker, TrackerConfig,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+/// Read-only per-frame context handed to every stage: the frame time and
+/// the uploads that arrived (the `Uploads` artifact of the stage graph).
+#[derive(Debug, Clone, Copy)]
+pub struct FrameCx<'a> {
+    /// Simulation time of the frame, seconds.
+    pub now: f64,
+    /// Uploads delivered by the network this frame, in arrival order.
+    pub uploads: &'a [Upload],
+}
+
+/// A stage's output: the artifact it produced plus its own measurement
+/// (wall time and item count), so the driver never brackets stages with
+/// ad-hoc clocks.
+#[derive(Debug, Clone)]
+pub struct Staged<T> {
+    /// The typed artifact passed to the next stage.
+    pub artifact: T,
+    /// What the stage measured about itself this frame.
+    pub sample: StageSample,
+}
+
+/// One module of the edge pipeline: a typed transform over frame
+/// artifacts. Implementations own whatever cross-frame state their module
+/// needs (the tracker, pose histories, a round-robin offset, ...) and
+/// time themselves with [`StageTimer`].
+pub trait Stage<In, Out>: fmt::Debug + Send {
+    /// Short diagnostic name.
+    fn name(&self) -> &'static str;
+
+    /// Runs the stage over one frame.
+    ///
+    /// # Errors
+    ///
+    /// Stage-specific; the default stages only fail in relevance assembly
+    /// ([`Error::NonFiniteRelevance`]).
+    fn run(&mut self, cx: &FrameCx<'_>, input: In) -> Result<Staged<Out>, Error>;
+}
+
+/// The merged traffic map (voxel-deduplicated union of all uploads).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrafficMap {
+    /// Points in the merged map.
+    pub map_points: usize,
+}
+
+/// Cross-vehicle associated detections: one cluster per distinct object.
+#[derive(Debug, Clone, Default)]
+pub struct AssociatedDetections {
+    /// The traffic map, carried through.
+    pub map: TrafficMap,
+    /// Running centroid and merged cloud per cluster, in first-upload
+    /// order (self-reports already suppressed).
+    pub clusters: Vec<(Vec2, PointCloud)>,
+    /// Classified detection per cluster, same order.
+    pub classified: Vec<Detection>,
+    /// Bytes of suppressed self-report clusters, per reporting vehicle.
+    pub self_report_bytes: BTreeMap<u64, u64>,
+    /// Objects across all uploads before association.
+    pub uploaded_objects: usize,
+}
+
+/// Planar kinematic state of one object, as estimated by the tracking
+/// stage (replaces the old anonymous `(pos, speed, heading, turn_rate)`
+/// tuple).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Kinematics {
+    /// Planar position.
+    pub position: Vec2,
+    /// Speed, m/s.
+    pub speed: f64,
+    /// Heading, radians.
+    pub heading: f64,
+    /// Turn rate, rad/s.
+    pub turn_rate: f64,
+}
+
+/// Everything the tracking stage knows after associating this frame with
+/// the past: identities, receivers, rule inputs, kinematics, staleness.
+#[derive(Debug, Clone, Default)]
+pub struct Tracks {
+    /// The traffic map, carried through.
+    pub map: TrafficMap,
+    /// Tracked sensed objects (plus coasted ones), with server ids.
+    pub detections: Vec<DetectionSummary>,
+    /// Wire size per object.
+    pub sizes: BTreeMap<ObjectId, u64>,
+    /// Connected vehicles able to receive data (uploaders + coasted).
+    pub receivers: Vec<ObjectId>,
+    /// Per-object inputs to the Rules 1–3 selection.
+    pub rule_inputs: Vec<RuleInput>,
+    /// Kinematic state per object.
+    pub kinematics: BTreeMap<ObjectId, Kinematics>,
+    /// Observation age of each coasted object, seconds.
+    pub ages: BTreeMap<ObjectId, f64>,
+}
+
+/// Predicted route hypotheses for the objects Rules 1–3 selected.
+#[derive(Debug, Clone, Default)]
+pub struct Predictions {
+    /// The traffic map, carried through.
+    pub map: TrafficMap,
+    /// Tracked sensed objects, carried through.
+    pub detections: Vec<DetectionSummary>,
+    /// Wire size per object, carried through.
+    pub sizes: BTreeMap<ObjectId, u64>,
+    /// Receivers, carried through.
+    pub receivers: Vec<ObjectId>,
+    /// Kinematic state per object, carried through.
+    pub kinematics: BTreeMap<ObjectId, Kinematics>,
+    /// Observation ages, carried through.
+    pub ages: BTreeMap<ObjectId, f64>,
+    /// Hypothesis sets consumed by relevance estimation.
+    pub objects: Vec<ObjectHypotheses>,
+    /// Queue followers covered by relevance propagation.
+    pub followers: Vec<FollowerLink>,
+    /// Trajectories actually predicted (Rules 1–3 savings).
+    pub predicted_trajectories: usize,
+}
+
+/// What a dissemination stage consumes: the finished server frame plus
+/// the frame's downlink budget, borrowed for the call.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanRequest<'a> {
+    /// The server's relevance matrix, sizes, and receivers.
+    pub frame: &'a ServerFrame,
+    /// Downlink budget `B`, bytes per frame.
+    pub budget: u64,
+}
+
+impl<'a> PlanRequest<'a> {
+    /// The core-crate planner inputs for this frame.
+    pub fn inputs(&self) -> PlanInputs<'a> {
+        PlanInputs {
+            matrix: &self.frame.matrix,
+            sizes: &self.frame.sizes,
+            receivers: &self.frame.receivers,
+        }
+    }
+}
+
+/// A boxed, swappable dissemination stage (the last hop of the graph).
+pub type BoxedDisseminationStage = Box<dyn for<'a> Stage<PlanRequest<'a>, DisseminationPlan>>;
+
+// ---------------------------------------------------------------------------
+// Server stages
+// ---------------------------------------------------------------------------
+
+/// Builds the merged traffic map from every uploaded cloud (voxel dedup).
+///
+/// Each upload's clouds are voxelised on a worker, then the partial
+/// mergers are absorbed in upload order — occupied-voxel sets and counts
+/// match the sequential merge exactly.
+#[derive(Debug)]
+pub struct MergeStage {
+    voxel_size: f64,
+}
+
+impl MergeStage {
+    /// A merge stage with the configured voxel size.
+    pub fn new(config: &ServerConfig) -> Self {
+        MergeStage {
+            voxel_size: config.voxel_size,
+        }
+    }
+}
+
+impl Stage<(), TrafficMap> for MergeStage {
+    fn name(&self) -> &'static str {
+        "merge"
+    }
+
+    fn run(&mut self, cx: &FrameCx<'_>, _input: ()) -> Result<Staged<TrafficMap>, Error> {
+        let t = StageTimer::start();
+        let voxel_size = self.voxel_size;
+        let partials = crate::par::par_map(cx.uploads.iter().collect(), |u: &Upload| {
+            let mut m = PointCloudMerger::new(voxel_size);
+            for o in &u.objects {
+                m.add(&o.points);
+            }
+            m
+        });
+        let mut merger = PointCloudMerger::new(voxel_size);
+        for p in partials {
+            merger.absorb(p);
+        }
+        let map_points = merger.output_points();
+        let uploaded_objects: usize = cx.uploads.iter().map(|u| u.objects.len()).sum();
+        Ok(Staged {
+            artifact: TrafficMap { map_points },
+            sample: t.stop(uploaded_objects),
+        })
+    }
+}
+
+/// Spatial hash over cluster centroids, cell size = the match radius, so
+/// a query only probes the 3×3 cell neighbourhood that can contain a
+/// centroid within the radius.
+#[derive(Debug)]
+struct CentroidGrid {
+    cell: f64,
+    buckets: HashMap<(i64, i64), Vec<usize>>,
+}
+
+impl CentroidGrid {
+    fn new(cell: f64) -> Self {
+        CentroidGrid {
+            cell,
+            buckets: HashMap::new(),
+        }
+    }
+
+    fn key(&self, p: Vec2) -> (i64, i64) {
+        ((p.x / self.cell).floor() as i64, (p.y / self.cell).floor() as i64)
+    }
+
+    fn insert(&mut self, idx: usize, p: Vec2) {
+        self.buckets.entry(self.key(p)).or_default().push(idx);
+    }
+
+    /// Moves a cluster whose running centroid crossed a cell boundary.
+    fn relocate(&mut self, idx: usize, old: Vec2, new: Vec2) {
+        let (ko, kn) = (self.key(old), self.key(new));
+        if ko == kn {
+            return;
+        }
+        if let Some(b) = self.buckets.get_mut(&ko) {
+            b.retain(|&i| i != idx);
+        }
+        self.buckets.entry(kn).or_default().push(idx);
+    }
+
+    /// The lowest-index cluster within `radius` of `p` — the same cluster
+    /// a linear `iter().find(..)` over insertion order would return.
+    fn first_match(
+        &self,
+        p: Vec2,
+        radius: f64,
+        clusters: &[(Vec2, PointCloud)],
+    ) -> Option<usize> {
+        let (kx, ky) = self.key(p);
+        let mut best: Option<usize> = None;
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                let Some(bucket) = self.buckets.get(&(kx + dx, ky + dy)) else {
+                    continue;
+                };
+                for &i in bucket {
+                    if clusters[i].0.distance(p) <= radius && best.is_none_or(|b| i < b) {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Associates uploads of the same object across vehicles, suppresses
+/// self-reports, and classifies the surviving clusters.
+///
+/// Association matches each uploaded object to the *first* existing
+/// cluster (in insertion order) whose running centroid lies within
+/// [`ServerConfig::detection_match_radius`] — accelerated by a
+/// [`CentroidGrid`] spatial hash, bit-identical to the linear scan it
+/// replaced.
+#[derive(Debug)]
+pub struct AssociateStage {
+    config: ServerConfig,
+}
+
+impl AssociateStage {
+    /// An association stage with the server's radii and extents.
+    pub fn new(config: &ServerConfig) -> Self {
+        AssociateStage { config: *config }
+    }
+}
+
+impl Stage<TrafficMap, AssociatedDetections> for AssociateStage {
+    fn name(&self) -> &'static str {
+        "associate"
+    }
+
+    fn run(
+        &mut self,
+        cx: &FrameCx<'_>,
+        input: TrafficMap,
+    ) -> Result<Staged<AssociatedDetections>, Error> {
+        let t = StageTimer::start();
+        let radius = self.config.detection_match_radius;
+        let mut clusters: Vec<(Vec2, PointCloud)> = Vec::new();
+        // A non-positive radius degenerates to exact-position matching;
+        // the grid needs a positive cell size, so fall back to the scan.
+        let mut grid = (radius > 0.0).then(|| CentroidGrid::new(radius));
+        for u in cx.uploads {
+            for o in &u.objects {
+                let hit = match &grid {
+                    Some(g) => g.first_match(o.centroid, radius, &clusters),
+                    None => clusters
+                        .iter()
+                        .position(|(c, _)| c.distance(o.centroid) <= radius),
+                };
+                match hit {
+                    Some(i) => {
+                        let (c, cloud) = &mut clusters[i];
+                        let old = *c;
+                        // Running centroid update.
+                        let n_old = cloud.len() as f64;
+                        let n_new = o.points.len() as f64;
+                        *c = (*c * n_old + o.centroid * n_new) / (n_old + n_new).max(1.0);
+                        cloud.merge_from(&o.points);
+                        if let Some(g) = &mut grid {
+                            g.relocate(i, old, *c);
+                        }
+                    }
+                    None => {
+                        let i = clusters.len();
+                        clusters.push((o.centroid, o.points.clone()));
+                        if let Some(g) = &mut grid {
+                            g.insert(i, o.centroid);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Self-reports are authoritative: drop matching detections.
+        let mut self_report_bytes: BTreeMap<u64, u64> = BTreeMap::new();
+        clusters.retain(|(c, cloud)| {
+            for u in cx.uploads {
+                if u.pose.position.distance(*c) <= self.config.self_report_radius {
+                    let e = self_report_bytes.entry(u.vehicle_id).or_insert(0);
+                    *e += cloud.wire_size_bytes() as u64;
+                    return false;
+                }
+            }
+            true
+        });
+
+        // Classify what survives.
+        let classified: Vec<Detection> = clusters
+            .iter()
+            .map(|(c, cloud)| {
+                let extent = planar_extent(cloud);
+                Detection {
+                    position: *c,
+                    kind: if extent < self.config.pedestrian_extent {
+                        ObjectKind::Pedestrian
+                    } else {
+                        ObjectKind::Vehicle
+                    },
+                }
+            })
+            .collect();
+
+        let uploaded_objects: usize = cx.uploads.iter().map(|u| u.objects.len()).sum();
+        Ok(Staged {
+            artifact: AssociatedDetections {
+                map: input,
+                clusters,
+                classified,
+                self_report_bytes,
+                uploaded_objects,
+            },
+            sample: t.stop(uploaded_objects),
+        })
+    }
+}
+
+/// Tracks sensed objects over time and assembles the connected-vehicle
+/// state: receivers, rule inputs, kinematics, and — under a positive
+/// [`ServerConfig::coast_horizon`] — coasted vehicles and tracks.
+///
+/// Owns the server's cross-frame mutable state: the [`Tracker`], the
+/// per-vehicle pose histories, and the last known wire sizes.
+#[derive(Debug)]
+pub struct TrackStage {
+    config: ServerConfig,
+    map: Arc<IntersectionMap>,
+    tracker: Tracker,
+    pose_history: BTreeMap<u64, VecDeque<(f64, Pose2)>>,
+    /// Last known wire size per object, so coasted objects keep a
+    /// dissemination cost after their source upload disappears.
+    last_bytes: BTreeMap<ObjectId, u64>,
+}
+
+impl TrackStage {
+    /// A fresh tracking stage bound to the HD map.
+    pub fn new(config: &ServerConfig, map: Arc<IntersectionMap>) -> Self {
+        TrackStage {
+            config: *config,
+            map,
+            tracker: Tracker::new(TrackerConfig::default()),
+            pose_history: BTreeMap::new(),
+            last_bytes: BTreeMap::new(),
+        }
+    }
+}
+
+impl Stage<AssociatedDetections, Tracks> for TrackStage {
+    fn name(&self) -> &'static str {
+        "tracking"
+    }
+
+    fn run(
+        &mut self,
+        cx: &FrameCx<'_>,
+        input: AssociatedDetections,
+    ) -> Result<Staged<Tracks>, Error> {
+        let t = StageTimer::start();
+        let now = cx.now;
+        let uploads = cx.uploads;
+
+        // Track sensed objects over time.
+        let assigned = self.tracker.update(now, &input.classified);
+        let mut detections = Vec::new();
+        let mut sizes: BTreeMap<ObjectId, u64> = BTreeMap::new();
+        for (td, (_, cloud)) in assigned.iter().zip(&input.clusters) {
+            let id = ObjectId(TRACK_ID_BASE + td.id.0);
+            let bytes = cloud.wire_size_bytes() as u64;
+            sizes.insert(id, bytes);
+            self.last_bytes.insert(id, bytes);
+            detections.push(DetectionSummary {
+                id,
+                position: td.detection.position,
+                kind: td.detection.kind,
+                bytes,
+            });
+        }
+
+        // Connected-vehicle state from pose history.
+        for u in uploads {
+            let h = self.pose_history.entry(u.vehicle_id).or_default();
+            h.push_back((now, u.pose));
+            while h.len() > self.config.pose_history_len {
+                h.pop_front();
+            }
+        }
+        let mut receivers = Vec::new();
+        let mut rule_inputs: Vec<RuleInput> = Vec::new();
+        let mut kinematics: BTreeMap<ObjectId, Kinematics> = BTreeMap::new();
+        let mut ages: BTreeMap<ObjectId, f64> = BTreeMap::new();
+        for u in uploads {
+            let id = ObjectId(u.vehicle_id);
+            receivers.push(id);
+            let h = &self.pose_history[&u.vehicle_id];
+            let (velocity, turn_rate) = history_kinematics(h);
+            let mut state = ObjectState::new(id, ObjectKind::Vehicle, u.pose.position, velocity);
+            state.heading = u.pose.heading();
+            rule_inputs.push(RuleInput {
+                state,
+                lane: self
+                    .map
+                    .lane_of(u.pose.position, u.pose.heading())
+                    .map(to_lane_position),
+                in_intersection: self.map.in_intersection(u.pose.position),
+            });
+            kinematics.insert(
+                id,
+                Kinematics {
+                    position: u.pose.position,
+                    speed: velocity.norm(),
+                    heading: u.pose.heading(),
+                    turn_rate,
+                },
+            );
+            let bytes = *sizes.entry(id).or_insert_with(|| {
+                input
+                    .self_report_bytes
+                    .get(&u.vehicle_id)
+                    .copied()
+                    .unwrap_or(600)
+            });
+            self.last_bytes.insert(id, bytes);
+        }
+
+        // Coast connected vehicles whose upload went missing: within the
+        // staleness horizon they stay receivers (and rule inputs),
+        // advanced from their last reported pose by their last known
+        // velocity.
+        let coast_horizon = self.config.coast_horizon;
+        if coast_horizon > 0.0 {
+            let uploaded: BTreeSet<u64> = uploads.iter().map(|u| u.vehicle_id).collect();
+            for (&vid, h) in &self.pose_history {
+                if uploaded.contains(&vid) {
+                    continue;
+                }
+                let &(t_last, pose) = h.back().expect("history entries are never empty");
+                let age = now - t_last;
+                if age <= 0.0 || age > coast_horizon {
+                    continue;
+                }
+                let id = ObjectId(vid);
+                let (velocity, turn_rate) = history_kinematics(h);
+                let position = pose.position + velocity * age;
+                receivers.push(id);
+                let mut state = ObjectState::new(id, ObjectKind::Vehicle, position, velocity);
+                state.heading = pose.heading();
+                rule_inputs.push(RuleInput {
+                    state,
+                    lane: self
+                        .map
+                        .lane_of(position, pose.heading())
+                        .map(to_lane_position),
+                    in_intersection: self.map.in_intersection(position),
+                });
+                kinematics.insert(
+                    id,
+                    Kinematics {
+                        position,
+                        speed: velocity.norm(),
+                        heading: pose.heading(),
+                        turn_rate,
+                    },
+                );
+                sizes
+                    .entry(id)
+                    .or_insert_with(|| self.last_bytes.get(&id).copied().unwrap_or(600));
+                ages.insert(id, age);
+            }
+            // Histories beyond the horizon can never coast again.
+            self.pose_history
+                .retain(|_, h| now - h.back().expect("non-empty").0 <= coast_horizon);
+        }
+
+        // Tracked objects become rule inputs too. Unobserved tracks are
+        // coasted along their velocity while inside the staleness horizon;
+        // beyond it (or with coasting disabled) they are skipped.
+        for track in self.tracker.tracks() {
+            let age = now - track.last_seen();
+            if track.misses() > 0 && (coast_horizon <= 0.0 || age > coast_horizon) {
+                continue; // not observed this frame, nothing to coast
+            }
+            let id = ObjectId(TRACK_ID_BASE + track.id().0);
+            let velocity = track.velocity();
+            let position = if track.misses() > 0 {
+                track.coasted_position(now)
+            } else {
+                track.position()
+            };
+            let state = ObjectState::new(id, track.kind(), position, velocity);
+            let heading = state.heading;
+            rule_inputs.push(RuleInput {
+                state,
+                lane: if track.kind() == ObjectKind::Vehicle {
+                    self.map.lane_of(position, heading).map(to_lane_position)
+                } else {
+                    None
+                },
+                in_intersection: self.map.in_intersection(position),
+            });
+            kinematics.insert(
+                id,
+                Kinematics {
+                    position,
+                    speed: velocity.norm(),
+                    heading,
+                    turn_rate: track.turn_rate(),
+                },
+            );
+            if track.misses() > 0 {
+                ages.insert(id, age);
+                let bytes = self.last_bytes.get(&id).copied().unwrap_or(600);
+                sizes.insert(id, bytes);
+                detections.push(DetectionSummary {
+                    id,
+                    position,
+                    kind: track.kind(),
+                    bytes,
+                });
+            }
+        }
+
+        let items = rule_inputs.len();
+        Ok(Staged {
+            artifact: Tracks {
+                map: input.map,
+                detections,
+                sizes,
+                receivers,
+                rule_inputs,
+                kinematics,
+                ages,
+            },
+            sample: t.stop(items),
+        })
+    }
+}
+
+/// Applies Rules 1–3 and predicts trajectories (map-route hypotheses plus
+/// CTRV) for the selected objects. Each object's hypothesis set depends
+/// only on shared read-only state (map, kinematics, lanes), so the
+/// predictions fan out across workers and come back in selection order.
+#[derive(Debug)]
+pub struct PredictStage {
+    config: ServerConfig,
+    map: Arc<IntersectionMap>,
+}
+
+impl PredictStage {
+    /// A prediction stage bound to the HD map.
+    pub fn new(config: &ServerConfig, map: Arc<IntersectionMap>) -> Self {
+        PredictStage {
+            config: *config,
+            map,
+        }
+    }
+
+    /// Map-based route hypotheses for a vehicle on an approach lane.
+    fn route_hypotheses(
+        &self,
+        id: ObjectId,
+        pos: Vec2,
+        speed: f64,
+        lane: &LanePosition,
+    ) -> Vec<PredictedTrajectory> {
+        let approach = match lane.lane_id / 8 {
+            0 => erpd_sim::Approach::East,
+            1 => erpd_sim::Approach::North,
+            2 => erpd_sim::Approach::West,
+            _ => erpd_sim::Approach::South,
+        };
+        let lane_idx = (lane.lane_id % 8) as usize;
+        let mut turns = vec![Turn::Straight];
+        if lane_idx == 0 {
+            turns.push(Turn::Left);
+        }
+        if lane_idx == self.map.lanes_per_dir() - 1 {
+            turns.push(Turn::Right);
+        }
+        let mut out = Vec::new();
+        for turn in turns {
+            let route = self.map.route(erpd_sim::RouteSpec {
+                approach,
+                lane: lane_idx,
+                turn,
+            });
+            let (s0, lat) = route.path.project(pos);
+            if lat > 3.0 {
+                continue;
+            }
+            let reach = s0 + speed * self.config.predictor.horizon + 5.0;
+            if let Some(path) = route.path.slice(s0, reach) {
+                out.push(PredictedTrajectory::from_path(
+                    id,
+                    ObjectKind::Vehicle,
+                    path,
+                    speed,
+                    4.5,
+                    self.config.predictor,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Route hypotheses for a vehicle *inside* the intersection box (no
+    /// lane assignment): every map route whose centreline passes close to
+    /// the vehicle with a compatible heading.
+    fn route_hypotheses_unmapped(
+        &self,
+        id: ObjectId,
+        pos: Vec2,
+        heading: f64,
+        speed: f64,
+    ) -> Vec<PredictedTrajectory> {
+        let mut out = Vec::new();
+        for approach in erpd_sim::Approach::ALL {
+            for lane in 0..self.map.lanes_per_dir() {
+                let mut turns = vec![Turn::Straight];
+                if lane == 0 {
+                    turns.push(Turn::Left);
+                }
+                if lane == self.map.lanes_per_dir() - 1 {
+                    turns.push(Turn::Right);
+                }
+                for turn in turns {
+                    let route = self.map.route(erpd_sim::RouteSpec { approach, lane, turn });
+                    let (s0, lat) = route.path.project(pos);
+                    if lat > 2.0 || s0 < route.stop_line_s - 25.0 || s0 > route.exit_s + 5.0 {
+                        continue;
+                    }
+                    let path_heading = route.path.heading_at(s0);
+                    // Tighter than the lane-lookup gate: a vehicle a third
+                    // of the way into its turn must no longer match the
+                    // straight route.
+                    if erpd_geometry::angle::angle_dist(heading, path_heading)
+                        > std::f64::consts::FRAC_PI_6
+                    {
+                        continue;
+                    }
+                    let reach = s0 + speed * self.config.predictor.horizon + 5.0;
+                    if let Some(path) = route.path.slice(s0, reach) {
+                        out.push(PredictedTrajectory::from_path(
+                            id,
+                            ObjectKind::Vehicle,
+                            path,
+                            speed,
+                            4.5,
+                            self.config.predictor,
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Stage<Tracks, Predictions> for PredictStage {
+    fn name(&self) -> &'static str {
+        "prediction"
+    }
+
+    fn run(&mut self, _cx: &FrameCx<'_>, input: Tracks) -> Result<Staged<Predictions>, Error> {
+        let t = StageTimer::start();
+
+        // Rules 1-3 select what to predict.
+        let selection = apply_rules(&input.rule_inputs, &self.config.crowd);
+        let lane_by_id: BTreeMap<ObjectId, Option<LanePosition>> = input
+            .rule_inputs
+            .iter()
+            .map(|r| (r.state.id, r.lane))
+            .collect();
+
+        let mut objects: Vec<ObjectHypotheses> = Vec::new();
+        let mut predicted_ids: Vec<ObjectId> = selection.predicted_vehicles.clone();
+        // Receivers must always carry a trajectory so dissemination decisions
+        // can be made for them; followers are covered by propagation, other
+        // connected vehicles get a CTRV hypothesis.
+        for &r in &input.receivers {
+            let is_follower = selection.followers.iter().any(|f| f.follower == r);
+            if !predicted_ids.contains(&r) && !is_follower {
+                predicted_ids.push(r);
+            }
+        }
+        let receiver_set: BTreeSet<ObjectId> = input.receivers.iter().copied().collect();
+        let predicted_count = predicted_ids.len();
+        let this = &*self;
+        let kin = &input.kinematics;
+        let lanes = &lane_by_id;
+        let recv_set = &receiver_set;
+        let age_of = &input.ages;
+        let predicted = crate::par::par_map(predicted_ids, |id| {
+            let &Kinematics {
+                position: pos,
+                speed,
+                heading,
+                turn_rate,
+            } = kin.get(&id)?;
+            // Body trajectories: where the object will actually be.
+            let mut trajectories = vec![predict_ctrv(
+                id,
+                ObjectKind::Vehicle,
+                pos,
+                speed,
+                heading,
+                turn_rate,
+                4.5,
+                this.config.predictor,
+            )];
+            let lane = lanes.get(&id).copied().flatten();
+            let near_box = this.map.in_intersection(pos)
+                || lane.is_some_and(|l| l.distance_to_stop < 15.0);
+            match lane {
+                Some(lane) => trajectories.extend(this.route_hypotheses(id, pos, speed, &lane)),
+                None if near_box => {
+                    trajectories.extend(this.route_hypotheses_unmapped(id, pos, heading, speed))
+                }
+                None => {}
+            }
+            // Receiver-side extras: a connected vehicle waiting at or inside
+            // the intersection will proceed shortly; predict its routes at a
+            // nominal proceed speed so crossing traffic stays relevant *to
+            // it* while it waits. These hypotheses never make the waiting
+            // vehicle itself look like a moving hazard to others.
+            let mut receiver_extra = Vec::new();
+            if recv_set.contains(&id) && speed < 2.0 && near_box {
+                let proceed = 5.0;
+                match lane {
+                    Some(lane) => {
+                        receiver_extra.extend(this.route_hypotheses(id, pos, proceed, &lane))
+                    }
+                    None => receiver_extra
+                        .extend(this.route_hypotheses_unmapped(id, pos, heading, proceed)),
+                }
+            }
+            Some(ObjectHypotheses {
+                object: id,
+                trajectories,
+                receiver_extra,
+                age: age_of.get(&id).copied().unwrap_or(0.0),
+            })
+        });
+        objects.extend(predicted.into_iter().flatten());
+        // Crowd representatives (Rule 3).
+        for crowd in &selection.crowds {
+            let rep = &selection.pedestrians[crowd.representative];
+            objects.push(ObjectHypotheses::single(predict_ctrv(
+                rep.id,
+                ObjectKind::Pedestrian,
+                rep.position,
+                rep.speed,
+                rep.orientation,
+                0.0,
+                0.6,
+                self.config.predictor,
+            )));
+            // Crowd members share the representative's data relevance: give
+            // each member a copy of the representative's trajectory so their
+            // perception data can be disseminated when the crowd conflicts.
+            for &m in &crowd.members {
+                if m == crowd.representative {
+                    continue;
+                }
+                let member = &selection.pedestrians[m];
+                objects.push(ObjectHypotheses::single(predict_ctrv(
+                    member.id,
+                    ObjectKind::Pedestrian,
+                    member.position,
+                    rep.speed,
+                    rep.orientation,
+                    0.0,
+                    0.6,
+                    self.config.predictor,
+                )));
+            }
+        }
+        let predicted_trajectories = predicted_count + selection.crowds.len();
+
+        Ok(Staged {
+            artifact: Predictions {
+                map: input.map,
+                detections: input.detections,
+                sizes: input.sizes,
+                receivers: input.receivers,
+                kinematics: input.kinematics,
+                ages: input.ages,
+                objects,
+                followers: selection.followers,
+                predicted_trajectories,
+            },
+            sample: t.stop(predicted_trajectories),
+        })
+    }
+}
+
+/// Assembles the relevance matrix (with follower propagation and
+/// upload-visibility suppression) and finishes the [`ServerFrame`].
+#[derive(Debug)]
+pub struct RelevanceStage {
+    config: ServerConfig,
+}
+
+impl RelevanceStage {
+    /// A relevance stage with the configured α and relevance parameters.
+    pub fn new(config: &ServerConfig) -> Self {
+        RelevanceStage { config: *config }
+    }
+}
+
+impl Stage<Predictions, ServerFrame> for RelevanceStage {
+    fn name(&self) -> &'static str {
+        "relevance"
+    }
+
+    fn run(
+        &mut self,
+        cx: &FrameCx<'_>,
+        input: Predictions,
+    ) -> Result<Staged<ServerFrame>, Error> {
+        let t = StageTimer::start();
+
+        // Visibility from uploads: receiver r already perceives o if r
+        // uploaded a cluster at o's position (paper §III-A).
+        let upload_centroids: BTreeMap<u64, Vec<Vec2>> = cx
+            .uploads
+            .iter()
+            .map(|u| {
+                (
+                    u.vehicle_id,
+                    u.objects.iter().map(|o: &UploadedObject| o.centroid).collect(),
+                )
+            })
+            .collect();
+        let positions: BTreeMap<ObjectId, Vec2> = input
+            .kinematics
+            .iter()
+            .map(|(&id, k)| (id, k.position))
+            .collect();
+        let visible = |receiver: ObjectId, object: ObjectId| -> bool {
+            let Some(centroids) = upload_centroids.get(&receiver.0) else {
+                return false;
+            };
+            let Some(&pos) = positions.get(&object) else {
+                return false;
+            };
+            centroids.iter().any(|c| c.distance(pos) <= 2.5)
+        };
+
+        // Relevance matrix (with follower propagation).
+        let matrix = build_relevance_matrix_multi(
+            &input.objects,
+            &input.receivers,
+            &input.followers,
+            self.config.alpha,
+            self.config.relevance,
+            visible,
+        )?;
+        let items = input.objects.len();
+
+        let staleness: Vec<f64> = input.ages.values().copied().collect();
+        let frame = ServerFrame {
+            matrix,
+            sizes: input.sizes,
+            receivers: input.receivers,
+            detections: input.detections,
+            predicted_trajectories: input.predicted_trajectories,
+            map_points: input.map.map_points,
+            coasted_objects: staleness.len(),
+            staleness,
+            // The driver ([`crate::EdgeServer::process`]) derives these
+            // from the stage samples so they can never disagree with them.
+            map_build_time: 0.0,
+            prediction_time: 0.0,
+            stages: Default::default(),
+        };
+        Ok(Staged {
+            artifact: frame,
+            sample: t.stop(items),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dissemination stages
+// ---------------------------------------------------------------------------
+
+/// The paper's dissemination: relevance-greedy knapsack (Algorithm 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyDissemination;
+
+impl<'a> Stage<PlanRequest<'a>, DisseminationPlan> for GreedyDissemination {
+    fn name(&self) -> &'static str {
+        "knapsack"
+    }
+
+    fn run(
+        &mut self,
+        _cx: &FrameCx<'_>,
+        req: PlanRequest<'a>,
+    ) -> Result<Staged<DisseminationPlan>, Error> {
+        let t = StageTimer::start();
+        let inputs = req.inputs();
+        let plan = inputs.greedy(req.budget);
+        let items = inputs.candidate_pairs();
+        Ok(Staged {
+            artifact: plan,
+            sample: t.stop(items),
+        })
+    }
+}
+
+/// The EMP baseline: relevance-blind round robin over every pair. Owns
+/// the rotation offset that used to live in the system loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobinDissemination {
+    offset: usize,
+}
+
+impl RoundRobinDissemination {
+    /// A rotation starting at offset 0.
+    pub fn new() -> Self {
+        RoundRobinDissemination::default()
+    }
+}
+
+impl<'a> Stage<PlanRequest<'a>, DisseminationPlan> for RoundRobinDissemination {
+    fn name(&self) -> &'static str {
+        "round_robin"
+    }
+
+    fn run(
+        &mut self,
+        _cx: &FrameCx<'_>,
+        req: PlanRequest<'a>,
+    ) -> Result<Staged<DisseminationPlan>, Error> {
+        let t = StageTimer::start();
+        let inputs = req.inputs();
+        let (plan, next) = inputs.round_robin(req.budget, self.offset);
+        self.offset = next;
+        let items = inputs.candidate_pairs();
+        Ok(Staged {
+            artifact: plan,
+            sample: t.stop(items),
+        })
+    }
+}
+
+/// The `Unlimited` baseline: everything to everyone, no budget.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BroadcastDissemination;
+
+impl<'a> Stage<PlanRequest<'a>, DisseminationPlan> for BroadcastDissemination {
+    fn name(&self) -> &'static str {
+        "broadcast"
+    }
+
+    fn run(
+        &mut self,
+        _cx: &FrameCx<'_>,
+        req: PlanRequest<'a>,
+    ) -> Result<Staged<DisseminationPlan>, Error> {
+        let t = StageTimer::start();
+        let inputs = req.inputs();
+        let plan = inputs.broadcast();
+        let items = inputs.candidate_pairs();
+        Ok(Staged {
+            artifact: plan,
+            sample: t.stop(items),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Composes the edge pipeline, stage by stage. Every stage defaults to
+/// the paper's implementation; `with_*_stage` swaps one in isolation.
+///
+/// ```
+/// use erpd_edge::{BroadcastDissemination, PipelineBuilder, ServerConfig};
+/// use erpd_sim::IntersectionMap;
+///
+/// let (server, _disseminate) =
+///     PipelineBuilder::new(ServerConfig::default(), IntersectionMap::default())
+///         .with_dissemination_stage(Box::new(BroadcastDissemination))
+///         .build();
+/// assert_eq!(server.config().voxel_size, 0.3);
+/// ```
+#[derive(Debug)]
+pub struct PipelineBuilder {
+    config: ServerConfig,
+    map: Arc<IntersectionMap>,
+    merge: Option<Box<dyn Stage<(), TrafficMap>>>,
+    associate: Option<Box<dyn Stage<TrafficMap, AssociatedDetections>>>,
+    track: Option<Box<dyn Stage<AssociatedDetections, Tracks>>>,
+    predict: Option<Box<dyn Stage<Tracks, Predictions>>>,
+    relevance: Option<Box<dyn Stage<Predictions, ServerFrame>>>,
+    disseminate: Option<BoxedDisseminationStage>,
+}
+
+impl PipelineBuilder {
+    /// A builder for the default (paper) pipeline over the given map.
+    pub fn new(config: ServerConfig, map: IntersectionMap) -> Self {
+        PipelineBuilder {
+            config,
+            map: Arc::new(map),
+            merge: None,
+            associate: None,
+            track: None,
+            predict: None,
+            relevance: None,
+            disseminate: None,
+        }
+    }
+
+    /// The HD map shared by the stages this builder creates.
+    pub fn map(&self) -> &Arc<IntersectionMap> {
+        &self.map
+    }
+
+    /// Replaces the traffic-map merge stage.
+    pub fn with_merge_stage(mut self, stage: Box<dyn Stage<(), TrafficMap>>) -> Self {
+        self.merge = Some(stage);
+        self
+    }
+
+    /// Replaces the cross-vehicle association stage.
+    pub fn with_association_stage(
+        mut self,
+        stage: Box<dyn Stage<TrafficMap, AssociatedDetections>>,
+    ) -> Self {
+        self.associate = Some(stage);
+        self
+    }
+
+    /// Replaces the tracking stage.
+    pub fn with_tracking_stage(
+        mut self,
+        stage: Box<dyn Stage<AssociatedDetections, Tracks>>,
+    ) -> Self {
+        self.track = Some(stage);
+        self
+    }
+
+    /// Replaces the prediction stage.
+    pub fn with_prediction_stage(mut self, stage: Box<dyn Stage<Tracks, Predictions>>) -> Self {
+        self.predict = Some(stage);
+        self
+    }
+
+    /// Replaces the relevance stage.
+    pub fn with_relevance_stage(
+        mut self,
+        stage: Box<dyn Stage<Predictions, ServerFrame>>,
+    ) -> Self {
+        self.relevance = Some(stage);
+        self
+    }
+
+    /// Replaces the dissemination stage (defaults to [`GreedyDissemination`];
+    /// [`crate::System`] defaults it per strategy instead).
+    pub fn with_dissemination_stage(mut self, stage: BoxedDisseminationStage) -> Self {
+        self.disseminate = Some(stage);
+        self
+    }
+
+    /// Builds the five-stage server pipeline, dropping any dissemination
+    /// stage (useful for V2V on-board fusion, which never disseminates).
+    pub fn build_server(self) -> crate::EdgeServer {
+        self.build_with_default(|| Box::new(GreedyDissemination)).0
+    }
+
+    /// Builds the server plus the dissemination stage, defaulting the
+    /// latter to [`GreedyDissemination`].
+    pub fn build(self) -> (crate::EdgeServer, BoxedDisseminationStage) {
+        self.build_with_default(|| Box::new(GreedyDissemination))
+    }
+
+    /// Builds, filling an unset dissemination stage from `fallback`.
+    pub(crate) fn build_with_default(
+        self,
+        fallback: impl FnOnce() -> BoxedDisseminationStage,
+    ) -> (crate::EdgeServer, BoxedDisseminationStage) {
+        let config = self.config;
+        let map = self.map;
+        let merge = self
+            .merge
+            .unwrap_or_else(|| Box::new(MergeStage::new(&config)));
+        let associate = self
+            .associate
+            .unwrap_or_else(|| Box::new(AssociateStage::new(&config)));
+        let track = self
+            .track
+            .unwrap_or_else(|| Box::new(TrackStage::new(&config, Arc::clone(&map))));
+        let predict = self
+            .predict
+            .unwrap_or_else(|| Box::new(PredictStage::new(&config, Arc::clone(&map))));
+        let relevance = self
+            .relevance
+            .unwrap_or_else(|| Box::new(RelevanceStage::new(&config)));
+        let disseminate = self.disseminate.unwrap_or_else(fallback);
+        (
+            crate::EdgeServer::from_stages(config, merge, associate, track, predict, relevance),
+            disseminate,
+        )
+    }
+}
+
+/// Converts the sim map's lane lookup into the tracking crate's type.
+fn to_lane_position(l: LaneLocation) -> LanePosition {
+    LanePosition {
+        lane_id: l.lane_id,
+        distance_to_stop: l.distance_to_stop,
+    }
+}
+
+/// Velocity and turn rate from a short pose history.
+fn history_kinematics(h: &VecDeque<(f64, Pose2)>) -> (Vec2, f64) {
+    if h.len() < 2 {
+        return (Vec2::ZERO, 0.0);
+    }
+    let (t0, p0) = h[0];
+    let (t1, p1) = h[h.len() - 1];
+    let dt = t1 - t0;
+    if dt <= 1e-9 {
+        return (Vec2::ZERO, 0.0);
+    }
+    let v = (p1.position - p0.position) / dt;
+    let w = erpd_geometry::angle::angle_diff(p1.heading(), p0.heading()) / dt;
+    (v, w)
+}
+
+/// Planar bounding-box diagonal of a cloud.
+fn planar_extent(cloud: &PointCloud) -> f64 {
+    match cloud.bounds() {
+        None => 0.0,
+        Some((min, max)) => {
+            let dx = max.x - min.x;
+            let dy = max.y - min.y;
+            (dx * dx + dy * dy).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erpd_geometry::Vec3;
+
+    fn cloud_at(x: f64, y: f64, n: usize, spread: f64) -> PointCloud {
+        (0..n)
+            .map(|i| {
+                Vec3::new(
+                    x + spread * (i % 4) as f64 / 4.0,
+                    y + spread * (i / 4) as f64 / 4.0,
+                    0.8,
+                )
+            })
+            .collect()
+    }
+
+    /// A crowded frame: `n_vehicles` uploaders, each reporting the same
+    /// field of objects with small per-vehicle offsets, plus chains of
+    /// clusters ~0.95 radii apart whose running centroids drift across
+    /// grid-cell boundaries as they merge.
+    fn crowded_uploads(n_vehicles: u64) -> Vec<Upload> {
+        let mut uploads = Vec::new();
+        for v in 0..n_vehicles {
+            let mut objects = Vec::new();
+            for k in 0..12u64 {
+                // Deterministic pseudo-spread: offsets below the 2 m match
+                // radius so vehicles mostly agree, occasionally not.
+                let jx = ((v * 7 + k * 13) % 11) as f64 * 0.17;
+                let jy = ((v * 5 + k * 3) % 13) as f64 * 0.13;
+                let base_x = 8.0 * (k % 4) as f64 + jx;
+                let base_y = 6.0 * (k / 4) as f64 + jy;
+                let points = cloud_at(base_x, base_y, 18 + (k as usize % 5), 1.2);
+                objects.push(UploadedObject {
+                    centroid: Vec2::new(base_x + 0.6, base_y + 0.6),
+                    points,
+                });
+            }
+            // Chain of near-threshold clusters along x, crossing cells.
+            for c in 0..6u64 {
+                let x = 60.0 + 1.9 * c as f64 + 0.05 * (v % 3) as f64;
+                let points = cloud_at(x, -20.0, 10, 0.8);
+                objects.push(UploadedObject {
+                    centroid: Vec2::new(x + 0.4, -19.6),
+                    points,
+                });
+            }
+            uploads.push(Upload {
+                vehicle_id: v + 1,
+                pose: Pose2::new(Vec2::new(-100.0 - 5.0 * v as f64, 0.0), 0.0),
+                objects,
+                bytes: 1000,
+                processing_time: 0.001,
+            });
+        }
+        uploads
+    }
+
+    /// The pre-grid association: a linear first-match scan.
+    fn linear_associate(uploads: &[Upload], radius: f64) -> Vec<(Vec2, PointCloud)> {
+        let mut merged: Vec<(Vec2, PointCloud)> = Vec::new();
+        for u in uploads {
+            for o in &u.objects {
+                match merged
+                    .iter_mut()
+                    .find(|(c, _)| c.distance(o.centroid) <= radius)
+                {
+                    Some((c, cloud)) => {
+                        let n_old = cloud.len() as f64;
+                        let n_new = o.points.len() as f64;
+                        *c = (*c * n_old + o.centroid * n_new) / (n_old + n_new).max(1.0);
+                        cloud.merge_from(&o.points);
+                    }
+                    None => merged.push((o.centroid, o.points.clone())),
+                }
+            }
+        }
+        merged
+    }
+
+    #[test]
+    fn grid_association_matches_linear_scan_on_crowded_frame() {
+        let uploads = crowded_uploads(10);
+        let config = ServerConfig::default();
+        let reference = linear_associate(&uploads, config.detection_match_radius);
+        // Sanity: the frame really is crowded and really merges clusters.
+        let total: usize = uploads.iter().map(|u| u.objects.len()).sum();
+        assert!(total > 150, "want a crowded frame, got {total} objects");
+        assert!(
+            reference.len() < total / 2,
+            "association must actually merge: {} of {total}",
+            reference.len()
+        );
+
+        let mut stage = AssociateStage::new(&config);
+        let cx = FrameCx {
+            now: 0.0,
+            uploads: &uploads,
+        };
+        let out = stage.run(&cx, TrafficMap::default()).unwrap().artifact;
+        assert_eq!(out.clusters.len(), reference.len());
+        for (i, ((gc, gcloud), (rc, rcloud))) in
+            out.clusters.iter().zip(&reference).enumerate()
+        {
+            assert_eq!(
+                (gc.x.to_bits(), gc.y.to_bits()),
+                (rc.x.to_bits(), rc.y.to_bits()),
+                "cluster {i} centroid drifted"
+            );
+            assert_eq!(gcloud.len(), rcloud.len(), "cluster {i} cloud size");
+        }
+    }
+
+    #[test]
+    fn grid_matches_at_exactly_the_radius_across_cells() {
+        // Two centroids exactly `radius` apart, guaranteed to land in
+        // different grid cells: the second must still merge into the first.
+        let config = ServerConfig::default();
+        let r = config.detection_match_radius;
+        let objects = vec![
+            UploadedObject {
+                centroid: Vec2::new(r - 0.01, 0.0),
+                points: cloud_at(0.0, 0.0, 8, 0.5),
+            },
+            UploadedObject {
+                centroid: Vec2::new(2.0 * r - 0.01, 0.0),
+                points: cloud_at(2.0 * r, 0.0, 8, 0.5),
+            },
+        ];
+        let uploads = vec![Upload {
+            vehicle_id: 1,
+            pose: Pose2::new(Vec2::new(-100.0, 0.0), 0.0),
+            objects,
+            bytes: 100,
+            processing_time: 0.0,
+        }];
+        let mut stage = AssociateStage::new(&config);
+        let cx = FrameCx {
+            now: 0.0,
+            uploads: &uploads,
+        };
+        let out = stage.run(&cx, TrafficMap::default()).unwrap().artifact;
+        assert_eq!(out.clusters.len(), 1, "exact-radius match must merge");
+    }
+
+    #[test]
+    fn stages_report_their_samples() {
+        let uploads = crowded_uploads(3);
+        let cx = FrameCx {
+            now: 0.0,
+            uploads: &uploads,
+        };
+        let config = ServerConfig::default();
+        let mut merge = MergeStage::new(&config);
+        let m = merge.run(&cx, ()).unwrap();
+        let total: usize = uploads.iter().map(|u| u.objects.len()).sum();
+        assert_eq!(m.sample.items, total);
+        assert!(m.artifact.map_points > 0);
+        assert_eq!(merge.name(), "merge");
+
+        let mut assoc = AssociateStage::new(&config);
+        let a = assoc.run(&cx, m.artifact).unwrap();
+        assert_eq!(a.sample.items, total);
+        assert_eq!(a.artifact.uploaded_objects, total);
+    }
+
+    #[test]
+    fn round_robin_stage_owns_its_rotation() {
+        let frame = ServerFrame {
+            sizes: BTreeMap::from([(ObjectId(1), 400u64), (ObjectId(2), 400u64)]),
+            receivers: vec![ObjectId(10), ObjectId(11)],
+            ..Default::default()
+        };
+        let cx = FrameCx {
+            now: 0.0,
+            uploads: &[],
+        };
+        let mut stage = RoundRobinDissemination::new();
+        let req = PlanRequest {
+            frame: &frame,
+            budget: 1000,
+        };
+        let p1 = stage.run(&cx, req).unwrap();
+        let p2 = stage.run(&cx, req).unwrap();
+        assert_eq!(p1.artifact.assignments.len(), 2);
+        assert_eq!(p2.artifact.assignments.len(), 2);
+        // The rotation advanced: the two frames cover all four pairs.
+        let mut all: Vec<_> = p1
+            .artifact
+            .assignments
+            .iter()
+            .chain(&p2.artifact.assignments)
+            .map(|a| (a.receiver, a.object))
+            .collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 4);
+        assert_eq!(p1.sample.items, 4);
+    }
+
+    #[test]
+    fn builder_swaps_a_single_stage() {
+        /// A merge stage that reports an empty map regardless of uploads.
+        #[derive(Debug)]
+        struct NullMerge;
+        impl Stage<(), TrafficMap> for NullMerge {
+            fn name(&self) -> &'static str {
+                "null-merge"
+            }
+            fn run(
+                &mut self,
+                _cx: &FrameCx<'_>,
+                _input: (),
+            ) -> Result<Staged<TrafficMap>, Error> {
+                Ok(Staged {
+                    artifact: TrafficMap { map_points: 0 },
+                    sample: StageSample::new(0.0, 0),
+                })
+            }
+        }
+        let uploads = crowded_uploads(2);
+        let mut server = PipelineBuilder::new(ServerConfig::default(), IntersectionMap::default())
+            .with_merge_stage(Box::new(NullMerge))
+            .build_server();
+        let f = server.process(0.0, &uploads).unwrap();
+        assert_eq!(f.map_points, 0, "swapped merge stage must be in effect");
+        // Downstream stages still ran over the same uploads.
+        assert!(!f.detections.is_empty());
+    }
+}

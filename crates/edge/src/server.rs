@@ -2,25 +2,27 @@
 //! trajectory prediction, and relevance-matrix assembly (paper Fig. 2,
 //! server side).
 //!
+//! Since the stage-graph refactor the server is a thin driver: it owns
+//! five boxed [`Stage`]s (built by [`crate::PipelineBuilder`]) and
+//! [`EdgeServer::process`] is pure composition —
+//! `merge → associate → track → predict → relevance` — folding each
+//! stage's self-reported [`StageSample`] into the frame's [`StageTimes`].
+//!
 //! Identity model: connected vehicles self-report stable network ids with
 //! their uploads, so they map to `ObjectId(sim id)` directly. Sensed
-//! objects are anonymous — the server's own [`Tracker`] assigns them ids,
-//! offset by [`TRACK_ID_BASE`] to keep the spaces disjoint.
+//! objects are anonymous — the tracking stage's own tracker assigns them
+//! ids, offset by [`TRACK_ID_BASE`] to keep the spaces disjoint.
 
-use crate::stages::{StageTimer, StageTimes};
-use crate::{Upload, UploadedObject};
-use erpd_core::{
-    build_relevance_matrix_multi, Error, ObjectHypotheses, RelevanceConfig, RelevanceMatrix,
+use crate::pipeline::{
+    AssociatedDetections, FrameCx, PipelineBuilder, Predictions, Stage, TrafficMap, Tracks,
 };
-use erpd_geometry::{Pose2, Vec2};
-use erpd_pointcloud::{PointCloud, PointCloudMerger};
-use erpd_sim::{IntersectionMap, LaneLocation, Turn};
-use erpd_tracking::{
-    apply_rules, predict_ctrv, CrowdParams, Detection, LanePosition, ObjectId, ObjectKind,
-    ObjectState, PredictedTrajectory, PredictorConfig, RuleInput, Tracker, TrackerConfig,
-};
-use std::collections::{BTreeMap, VecDeque};
-use std::time::Instant;
+use crate::stages::{StageSample, StageTimes};
+use crate::Upload;
+use erpd_core::{Error, RelevanceConfig, RelevanceMatrix};
+use erpd_geometry::Vec2;
+use erpd_sim::IntersectionMap;
+use erpd_tracking::{CrowdParams, ObjectId, ObjectKind, PredictorConfig};
+use std::collections::BTreeMap;
 
 /// Offset separating tracker-assigned object ids from vehicle network ids.
 pub const TRACK_ID_BASE: u64 = 1_000_000;
@@ -51,6 +53,9 @@ pub struct ServerConfig {
     /// dropped. `0.0` (the default) disables coasting, reproducing the
     /// ideal-network behaviour exactly.
     pub coast_horizon: f64,
+    /// Poses retained per connected vehicle for finite-difference
+    /// velocity / turn-rate estimation (and coasting anchors).
+    pub pose_history_len: usize,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +70,7 @@ impl Default for ServerConfig {
             self_report_radius: 3.0,
             pedestrian_extent: 1.6,
             coast_horizon: 0.0,
+            pose_history_len: 4,
         }
     }
 }
@@ -124,6 +130,12 @@ impl ServerConfig {
         self.coast_horizon = coast_horizon;
         self
     }
+
+    /// Returns the configuration with the pose-history depth replaced.
+    pub fn with_pose_history_len(mut self, pose_history_len: usize) -> Self {
+        self.pose_history_len = pose_history_len;
+        self
+    }
 }
 
 /// One merged, tracked object known to the server this frame.
@@ -160,9 +172,11 @@ pub struct ServerFrame {
     /// Observation age of each coasted object, seconds (empty when nothing
     /// coasted).
     pub staleness: Vec<f64>,
-    /// Wall time of map building (merge + association), seconds.
+    /// Wall time of map building (merge + association), seconds. Derived
+    /// from `stages.merge` — always equal to `stages.merge.seconds`.
     pub map_build_time: f64,
-    /// Wall time of tracking + prediction + relevance, seconds.
+    /// Wall time of tracking + prediction + relevance, seconds. Derived
+    /// from the corresponding stage samples — always their exact sum.
     pub prediction_time: f64,
     /// Per-stage timings and item counts. The server fills `merge`,
     /// `tracking`, `prediction`, and `relevance`; the [`crate::System`]
@@ -184,27 +198,39 @@ impl ServerFrame {
     }
 }
 
-/// The edge server.
+/// The edge server: a composed five-stage pipeline.
 #[derive(Debug)]
 pub struct EdgeServer {
     config: ServerConfig,
-    map: IntersectionMap,
-    tracker: Tracker,
-    pose_history: BTreeMap<u64, VecDeque<(f64, Pose2)>>,
-    /// Last known wire size per object, so coasted objects keep a
-    /// dissemination cost after their source upload disappears.
-    last_bytes: BTreeMap<ObjectId, u64>,
+    merge: Box<dyn Stage<(), TrafficMap>>,
+    associate: Box<dyn Stage<TrafficMap, AssociatedDetections>>,
+    track: Box<dyn Stage<AssociatedDetections, Tracks>>,
+    predict: Box<dyn Stage<Tracks, Predictions>>,
+    relevance: Box<dyn Stage<Predictions, ServerFrame>>,
 }
 
 impl EdgeServer {
-    /// Creates a server for a given HD map.
+    /// Creates a server with the default (paper) stages for a given HD map.
+    /// Use a [`PipelineBuilder`] to swap individual stages.
     pub fn new(config: ServerConfig, map: IntersectionMap) -> Self {
+        PipelineBuilder::new(config, map).build_server()
+    }
+
+    pub(crate) fn from_stages(
+        config: ServerConfig,
+        merge: Box<dyn Stage<(), TrafficMap>>,
+        associate: Box<dyn Stage<TrafficMap, AssociatedDetections>>,
+        track: Box<dyn Stage<AssociatedDetections, Tracks>>,
+        predict: Box<dyn Stage<Tracks, Predictions>>,
+        relevance: Box<dyn Stage<Predictions, ServerFrame>>,
+    ) -> Self {
         EdgeServer {
             config,
-            map,
-            tracker: Tracker::new(TrackerConfig::default()),
-            pose_history: BTreeMap::new(),
-            last_bytes: BTreeMap::new(),
+            merge,
+            associate,
+            track,
+            predict,
+            relevance,
         }
     }
 
@@ -213,7 +239,14 @@ impl EdgeServer {
         &self.config
     }
 
-    /// Processes one frame of uploads.
+    /// Processes one frame of uploads by running the stage graph:
+    /// `merge → associate → track → predict → relevance`.
+    ///
+    /// Every timing field of the returned frame is derived from the
+    /// stages' own [`StageSample`]s — `map_build_time` *is*
+    /// `stages.merge.seconds` and `prediction_time` *is* the exact sum of
+    /// the tracking, prediction, and relevance samples, so module-level
+    /// and stage-level timings can never disagree.
     ///
     /// With a positive [`ServerConfig::coast_horizon`], objects and
     /// connected vehicles whose upload went missing are **coasted**:
@@ -226,528 +259,40 @@ impl EdgeServer {
     /// [`Error::NonFiniteRelevance`] if relevance assembly produces a
     /// non-finite value.
     pub fn process(&mut self, now: f64, uploads: &[Upload]) -> Result<ServerFrame, Error> {
-        let t_map = Instant::now();
+        let cx = FrameCx { now, uploads };
+        let merged = self.merge.run(&cx, ())?;
+        let assoc = self.associate.run(&cx, merged.artifact)?;
+        let tracked = self.track.run(&cx, assoc.artifact)?;
+        let predicted = self.predict.run(&cx, tracked.artifact)?;
+        let relevant = self.relevance.run(&cx, predicted.artifact)?;
 
-        // --- Traffic map: merge every uploaded cloud (voxel dedup). Each
-        // upload's clouds are voxelised on a worker, then the partial
-        // mergers are absorbed in upload order — occupied-voxel sets and
-        // counts match the sequential merge exactly. ---
-        let voxel_size = self.config.voxel_size;
-        let partials = crate::par::par_map(uploads.iter().collect(), |u: &Upload| {
-            let mut m = PointCloudMerger::new(voxel_size);
-            for o in &u.objects {
-                m.add(&o.points);
-            }
-            m
-        });
-        let mut merger = PointCloudMerger::new(voxel_size);
-        for p in partials {
-            merger.absorb(p);
-        }
-        let map_points = merger.output_points();
-
-        // --- Associate uploads of the same object across vehicles. ---
-        let mut merged: Vec<(Vec2, PointCloud)> = Vec::new();
-        for u in uploads {
-            for o in &u.objects {
-                match merged
-                    .iter_mut()
-                    .find(|(c, _)| c.distance(o.centroid) <= self.config.detection_match_radius)
-                {
-                    Some((c, cloud)) => {
-                        // Running centroid update.
-                        let n_old = cloud.len() as f64;
-                        let n_new = o.points.len() as f64;
-                        *c = (*c * n_old + o.centroid * n_new) / (n_old + n_new).max(1.0);
-                        cloud.merge_from(&o.points);
-                    }
-                    None => merged.push((o.centroid, o.points.clone())),
-                }
-            }
-        }
-
-        // --- Self-reports are authoritative: drop matching detections. ---
-        let mut self_report_bytes: BTreeMap<u64, u64> = BTreeMap::new();
-        merged.retain(|(c, cloud)| {
-            for u in uploads {
-                if u.pose.position.distance(*c) <= self.config.self_report_radius {
-                    let e = self_report_bytes.entry(u.vehicle_id).or_insert(0);
-                    *e += cloud.wire_size_bytes() as u64;
-                    return false;
-                }
-            }
-            true
-        });
-
-        // --- Classify detections. ---
-        let classified: Vec<Detection> = merged
-            .iter()
-            .map(|(c, cloud)| {
-                let extent = planar_extent(cloud);
-                Detection {
-                    position: *c,
-                    kind: if extent < self.config.pedestrian_extent {
-                        ObjectKind::Pedestrian
-                    } else {
-                        ObjectKind::Vehicle
-                    },
-                }
-            })
-            .collect();
-        let map_build_time = t_map.elapsed().as_secs_f64();
-        let mut stages = StageTimes::default();
-        let uploaded_objects: usize = uploads.iter().map(|u| u.objects.len()).sum();
-        stages.merge = crate::stages::StageSample::new(map_build_time, uploaded_objects);
-
-        let t_predict = Instant::now();
-        let t_track = StageTimer::start();
-
-        // --- Track sensed objects over time. ---
-        let assigned = self.tracker.update(now, &classified);
-        let mut detections = Vec::new();
-        let mut sizes: BTreeMap<ObjectId, u64> = BTreeMap::new();
-        for ((raw_id, det), (_, cloud)) in assigned.iter().zip(&classified).zip(&merged) {
-            let id = ObjectId(TRACK_ID_BASE + raw_id.0);
-            let bytes = cloud.wire_size_bytes() as u64;
-            sizes.insert(id, bytes);
-            self.last_bytes.insert(id, bytes);
-            detections.push(DetectionSummary {
-                id,
-                position: det.position,
-                kind: det.kind,
-                bytes,
-            });
-        }
-
-        // --- Connected-vehicle state from pose history. ---
-        for u in uploads {
-            let h = self.pose_history.entry(u.vehicle_id).or_default();
-            h.push_back((now, u.pose));
-            while h.len() > 4 {
-                h.pop_front();
-            }
-        }
-        let mut receivers = Vec::new();
-        let mut rule_inputs: Vec<RuleInput> = Vec::new();
-        let mut kinematics: BTreeMap<ObjectId, (Vec2, f64, f64, f64)> = BTreeMap::new(); // pos, speed, heading, turn rate
-        let mut ages: BTreeMap<ObjectId, f64> = BTreeMap::new();
-        for u in uploads {
-            let id = ObjectId(u.vehicle_id);
-            receivers.push(id);
-            let h = &self.pose_history[&u.vehicle_id];
-            let (velocity, turn_rate) = history_kinematics(h);
-            let mut state = ObjectState::new(id, ObjectKind::Vehicle, u.pose.position, velocity);
-            state.heading = u.pose.heading();
-            rule_inputs.push(RuleInput {
-                state,
-                lane: self
-                    .map
-                    .lane_of(u.pose.position, u.pose.heading())
-                    .map(to_lane_position),
-                in_intersection: self.map.in_intersection(u.pose.position),
-            });
-            kinematics.insert(
-                id,
-                (u.pose.position, velocity.norm(), u.pose.heading(), turn_rate),
-            );
-            let bytes = *sizes.entry(id).or_insert_with(|| {
-                self_report_bytes.get(&u.vehicle_id).copied().unwrap_or(600)
-            });
-            self.last_bytes.insert(id, bytes);
-        }
-
-        // --- Coast connected vehicles whose upload went missing: within
-        // the staleness horizon they stay receivers (and rule inputs),
-        // advanced from their last reported pose by their last known
-        // velocity. ---
-        let coast_horizon = self.config.coast_horizon;
-        if coast_horizon > 0.0 {
-            let uploaded: std::collections::BTreeSet<u64> =
-                uploads.iter().map(|u| u.vehicle_id).collect();
-            for (&vid, h) in &self.pose_history {
-                if uploaded.contains(&vid) {
-                    continue;
-                }
-                let &(t_last, pose) = h.back().expect("history entries are never empty");
-                let age = now - t_last;
-                if age <= 0.0 || age > coast_horizon {
-                    continue;
-                }
-                let id = ObjectId(vid);
-                let (velocity, turn_rate) = history_kinematics(h);
-                let position = pose.position + velocity * age;
-                receivers.push(id);
-                let mut state = ObjectState::new(id, ObjectKind::Vehicle, position, velocity);
-                state.heading = pose.heading();
-                rule_inputs.push(RuleInput {
-                    state,
-                    lane: self
-                        .map
-                        .lane_of(position, pose.heading())
-                        .map(to_lane_position),
-                    in_intersection: self.map.in_intersection(position),
-                });
-                kinematics.insert(id, (position, velocity.norm(), pose.heading(), turn_rate));
-                sizes
-                    .entry(id)
-                    .or_insert_with(|| self.last_bytes.get(&id).copied().unwrap_or(600));
-                ages.insert(id, age);
-            }
-            // Histories beyond the horizon can never coast again.
-            self.pose_history
-                .retain(|_, h| now - h.back().expect("non-empty").0 <= coast_horizon);
-        }
-
-        // --- Tracked objects become rule inputs too. Unobserved tracks are
-        // coasted along their velocity while inside the staleness horizon;
-        // beyond it (or with coasting disabled) they are skipped as before. ---
-        for track in self.tracker.tracks() {
-            let age = now - track.last_seen();
-            if track.misses() > 0 && (coast_horizon <= 0.0 || age > coast_horizon) {
-                continue; // not observed this frame, nothing to coast
-            }
-            let id = ObjectId(TRACK_ID_BASE + track.id().0);
-            let velocity = track.velocity();
-            let position = if track.misses() > 0 {
-                track.coasted_position(now)
-            } else {
-                track.position()
-            };
-            let state = ObjectState::new(id, track.kind(), position, velocity);
-            let heading = state.heading;
-            rule_inputs.push(RuleInput {
-                state,
-                lane: if track.kind() == ObjectKind::Vehicle {
-                    self.map.lane_of(position, heading).map(to_lane_position)
-                } else {
-                    None
-                },
-                in_intersection: self.map.in_intersection(position),
-            });
-            kinematics.insert(id, (position, velocity.norm(), heading, track.turn_rate()));
-            if track.misses() > 0 {
-                ages.insert(id, age);
-                let bytes = self.last_bytes.get(&id).copied().unwrap_or(600);
-                sizes.insert(id, bytes);
-                detections.push(DetectionSummary {
-                    id,
-                    position,
-                    kind: track.kind(),
-                    bytes,
-                });
-            }
-        }
-
-        stages.tracking = t_track.stop(rule_inputs.len());
-        let t_rules = StageTimer::start();
-
-        // --- Rules 1-3 select what to predict. ---
-        let selection = apply_rules(&rule_inputs, &self.config.crowd);
-        let lane_by_id: BTreeMap<ObjectId, Option<LanePosition>> = rule_inputs
-            .iter()
-            .map(|r| (r.state.id, r.lane))
-            .collect();
-
-        // --- Predict trajectories (map-route hypotheses + CTRV). ---
-        let mut objects: Vec<ObjectHypotheses> = Vec::new();
-        let mut predicted_ids: Vec<ObjectId> = selection.predicted_vehicles.clone();
-        // Receivers must always carry a trajectory so dissemination decisions
-        // can be made for them; followers are covered by propagation, other
-        // connected vehicles get a CTRV hypothesis.
-        for &r in &receivers {
-            let is_follower = selection.followers.iter().any(|f| f.follower == r);
-            if !predicted_ids.contains(&r) && !is_follower {
-                predicted_ids.push(r);
-            }
-        }
-        let receiver_set: std::collections::BTreeSet<ObjectId> = receivers.iter().copied().collect();
-        let predicted_count = predicted_ids.len();
-        // Each object's hypothesis set depends only on shared read-only
-        // state (map, kinematics, lanes), so the predictions fan out across
-        // workers and come back in `predicted_ids` order.
-        let this = &*self;
-        let kin = &kinematics;
-        let lanes = &lane_by_id;
-        let recv_set = &receiver_set;
-        let age_of = &ages;
-        let predicted = crate::par::par_map(predicted_ids, |id| {
-            let &(pos, speed, heading, turn_rate) = kin.get(&id)?;
-            // Body trajectories: where the object will actually be.
-            let mut trajectories = vec![predict_ctrv(
-                id,
-                ObjectKind::Vehicle,
-                pos,
-                speed,
-                heading,
-                turn_rate,
-                4.5,
-                this.config.predictor,
-            )];
-            let lane = lanes.get(&id).copied().flatten();
-            let near_box = this.map.in_intersection(pos)
-                || lane.is_some_and(|l| l.distance_to_stop < 15.0);
-            match lane {
-                Some(lane) => trajectories.extend(this.route_hypotheses(id, pos, speed, &lane)),
-                None if near_box => {
-                    trajectories.extend(this.route_hypotheses_unmapped(id, pos, heading, speed))
-                }
-                None => {}
-            }
-            // Receiver-side extras: a connected vehicle waiting at or inside
-            // the intersection will proceed shortly; predict its routes at a
-            // nominal proceed speed so crossing traffic stays relevant *to
-            // it* while it waits. These hypotheses never make the waiting
-            // vehicle itself look like a moving hazard to others.
-            let mut receiver_extra = Vec::new();
-            if recv_set.contains(&id) && speed < 2.0 && near_box {
-                let proceed = 5.0;
-                match lane {
-                    Some(lane) => {
-                        receiver_extra.extend(this.route_hypotheses(id, pos, proceed, &lane))
-                    }
-                    None => receiver_extra
-                        .extend(this.route_hypotheses_unmapped(id, pos, heading, proceed)),
-                }
-            }
-            Some(ObjectHypotheses {
-                object: id,
-                trajectories,
-                receiver_extra,
-                age: age_of.get(&id).copied().unwrap_or(0.0),
-            })
-        });
-        objects.extend(predicted.into_iter().flatten());
-        // Crowd representatives (Rule 3).
-        for crowd in &selection.crowds {
-            let rep = &selection.pedestrians[crowd.representative];
-            objects.push(ObjectHypotheses::single(predict_ctrv(
-                rep.id,
-                ObjectKind::Pedestrian,
-                rep.position,
-                rep.speed,
-                rep.orientation,
-                0.0,
-                0.6,
-                self.config.predictor,
-            )));
-            // Crowd members share the representative's data relevance: give
-            // each member a copy of the representative's trajectory so their
-            // perception data can be disseminated when the crowd conflicts.
-            for &m in &crowd.members {
-                if m == crowd.representative {
-                    continue;
-                }
-                let member = &selection.pedestrians[m];
-                objects.push(ObjectHypotheses::single(predict_ctrv(
-                    member.id,
-                    ObjectKind::Pedestrian,
-                    member.position,
-                    rep.speed,
-                    rep.orientation,
-                    0.0,
-                    0.6,
-                    self.config.predictor,
-                )));
-            }
-        }
-        let predicted_trajectories = predicted_count + selection.crowds.len();
-        stages.prediction = t_rules.stop(predicted_trajectories);
-        let t_relevance = StageTimer::start();
-
-        // --- Visibility from uploads: receiver r already perceives o if r
-        // uploaded a cluster at o's position (paper §III-A). ---
-        let upload_centroids: BTreeMap<u64, Vec<Vec2>> = uploads
-            .iter()
-            .map(|u| {
-                (
-                    u.vehicle_id,
-                    u.objects.iter().map(|o: &UploadedObject| o.centroid).collect(),
-                )
-            })
-            .collect();
-        let positions: BTreeMap<ObjectId, Vec2> =
-            kinematics.iter().map(|(&id, &(p, ..))| (id, p)).collect();
-        let visible = |receiver: ObjectId, object: ObjectId| -> bool {
-            let Some(centroids) = upload_centroids.get(&receiver.0) else {
-                return false;
-            };
-            let Some(&pos) = positions.get(&object) else {
-                return false;
-            };
-            centroids.iter().any(|c| c.distance(pos) <= 2.5)
+        let mut frame = relevant.artifact;
+        // The canonical "merge" sample covers map merge + association,
+        // preserving the pre-refactor stage schema.
+        let stages = StageTimes {
+            merge: StageSample::new(
+                merged.sample.seconds + assoc.sample.seconds,
+                assoc.sample.items,
+            ),
+            tracking: tracked.sample,
+            prediction: predicted.sample,
+            relevance: relevant.sample,
+            ..Default::default()
         };
-
-        // --- Relevance matrix (with follower propagation). ---
-        let matrix = build_relevance_matrix_multi(
-            &objects,
-            &receivers,
-            &selection.followers,
-            self.config.alpha,
-            self.config.relevance,
-            visible,
-        )?;
-        stages.relevance = t_relevance.stop(objects.len());
-        let prediction_time = t_predict.elapsed().as_secs_f64();
-
-        let staleness: Vec<f64> = ages.values().copied().collect();
-        Ok(ServerFrame {
-            matrix,
-            sizes,
-            receivers,
-            detections,
-            predicted_trajectories,
-            map_points,
-            coasted_objects: staleness.len(),
-            staleness,
-            map_build_time,
-            prediction_time,
-            stages,
-        })
-    }
-
-    /// Map-based route hypotheses for a vehicle on an approach lane.
-    fn route_hypotheses(
-        &self,
-        id: ObjectId,
-        pos: Vec2,
-        speed: f64,
-        lane: &LanePosition,
-    ) -> Vec<PredictedTrajectory> {
-        let approach = match lane.lane_id / 8 {
-            0 => erpd_sim::Approach::East,
-            1 => erpd_sim::Approach::North,
-            2 => erpd_sim::Approach::West,
-            _ => erpd_sim::Approach::South,
-        };
-        let lane_idx = (lane.lane_id % 8) as usize;
-        let mut turns = vec![Turn::Straight];
-        if lane_idx == 0 {
-            turns.push(Turn::Left);
-        }
-        if lane_idx == self.map.lanes_per_dir() - 1 {
-            turns.push(Turn::Right);
-        }
-        let mut out = Vec::new();
-        for turn in turns {
-            let route = self.map.route(erpd_sim::RouteSpec {
-                approach,
-                lane: lane_idx,
-                turn,
-            });
-            let (s0, lat) = route.path.project(pos);
-            if lat > 3.0 {
-                continue;
-            }
-            let reach = s0 + speed * self.config.predictor.horizon + 5.0;
-            if let Some(path) = route.path.slice(s0, reach) {
-                out.push(PredictedTrajectory::from_path(
-                    id,
-                    ObjectKind::Vehicle,
-                    path,
-                    speed,
-                    4.5,
-                    self.config.predictor,
-                ));
-            }
-        }
-        out
-    }
-}
-
-impl EdgeServer {
-    /// Route hypotheses for a vehicle *inside* the intersection box (no
-    /// lane assignment): every map route whose centreline passes close to
-    /// the vehicle with a compatible heading.
-    fn route_hypotheses_unmapped(
-        &self,
-        id: ObjectId,
-        pos: Vec2,
-        heading: f64,
-        speed: f64,
-    ) -> Vec<PredictedTrajectory> {
-        let mut out = Vec::new();
-        for approach in erpd_sim::Approach::ALL {
-            for lane in 0..self.map.lanes_per_dir() {
-                let mut turns = vec![Turn::Straight];
-                if lane == 0 {
-                    turns.push(Turn::Left);
-                }
-                if lane == self.map.lanes_per_dir() - 1 {
-                    turns.push(Turn::Right);
-                }
-                for turn in turns {
-                    let route = self.map.route(erpd_sim::RouteSpec { approach, lane, turn });
-                    let (s0, lat) = route.path.project(pos);
-                    if lat > 2.0 || s0 < route.stop_line_s - 25.0 || s0 > route.exit_s + 5.0 {
-                        continue;
-                    }
-                    let path_heading = route.path.heading_at(s0);
-                    // Tighter than the lane-lookup gate: a vehicle a third
-                    // of the way into its turn must no longer match the
-                    // straight route.
-                    if erpd_geometry::angle::angle_dist(heading, path_heading)
-                        > std::f64::consts::FRAC_PI_6
-                    {
-                        continue;
-                    }
-                    let reach = s0 + speed * self.config.predictor.horizon + 5.0;
-                    if let Some(path) = route.path.slice(s0, reach) {
-                        out.push(PredictedTrajectory::from_path(
-                            id,
-                            ObjectKind::Vehicle,
-                            path,
-                            speed,
-                            4.5,
-                            self.config.predictor,
-                        ));
-                    }
-                }
-            }
-        }
-        out
-    }
-}
-
-/// Converts the sim map's lane lookup into the tracking crate's type.
-fn to_lane_position(l: LaneLocation) -> LanePosition {
-    LanePosition {
-        lane_id: l.lane_id,
-        distance_to_stop: l.distance_to_stop,
-    }
-}
-
-/// Velocity and turn rate from a short pose history.
-fn history_kinematics(h: &VecDeque<(f64, Pose2)>) -> (Vec2, f64) {
-    if h.len() < 2 {
-        return (Vec2::ZERO, 0.0);
-    }
-    let (t0, p0) = h[0];
-    let (t1, p1) = h[h.len() - 1];
-    let dt = t1 - t0;
-    if dt <= 1e-9 {
-        return (Vec2::ZERO, 0.0);
-    }
-    let v = (p1.position - p0.position) / dt;
-    let w = erpd_geometry::angle::angle_diff(p1.heading(), p0.heading()) / dt;
-    (v, w)
-}
-
-/// Planar bounding-box diagonal of a cloud.
-fn planar_extent(cloud: &PointCloud) -> f64 {
-    match cloud.bounds() {
-        None => 0.0,
-        Some((min, max)) => {
-            let dx = max.x - min.x;
-            let dy = max.y - min.y;
-            (dx * dx + dy * dy).sqrt()
-        }
+        frame.map_build_time = stages.merge.seconds;
+        frame.prediction_time =
+            stages.tracking.seconds + stages.prediction.seconds + stages.relevance.seconds;
+        frame.stages = stages;
+        Ok(frame)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use erpd_geometry::Vec3;
+    use crate::UploadedObject;
+    use erpd_geometry::{Pose2, Vec3};
+    use erpd_pointcloud::PointCloud;
 
     fn cloud_at(x: f64, y: f64, n: usize, spread: f64) -> PointCloud {
         (0..n)
@@ -946,5 +491,37 @@ mod tests {
         let f = s.process(0.0, &[u]).unwrap();
         assert!(f.object_near(Vec2::new(21.0, 1.0), 4.0).is_some());
         assert!(f.object_near(Vec2::new(90.0, 0.0), 4.0).is_none());
+    }
+
+    #[test]
+    fn module_times_always_equal_stage_times() {
+        let mut s = server();
+        let u1 = upload(1, Pose2::new(Vec2::new(-10.0, 0.0), 0.0), vec![(20.0, 0.0, 40, 3.0)]);
+        let u2 = upload(2, Pose2::new(Vec2::new(40.0, 0.0), 0.0), vec![(20.3, 0.2, 40, 3.0)]);
+        let f = s.process(0.0, &[u1, u2]).unwrap();
+        // Exact f64 equality: both views are derived from the same samples.
+        assert_eq!(f.map_build_time, f.stages.merge.seconds);
+        assert_eq!(
+            f.prediction_time,
+            f.stages.tracking.seconds + f.stages.prediction.seconds + f.stages.relevance.seconds
+        );
+    }
+
+    #[test]
+    fn pose_history_len_bounds_history_depth() {
+        // A length-2 history estimates velocity over one frame only; the
+        // default 4 smooths over three. Both must produce a working server,
+        // and the default must match the historical magic constant.
+        assert_eq!(ServerConfig::default().pose_history_len, 4);
+        let mut s = EdgeServer::new(
+            ServerConfig::default().with_pose_history_len(2),
+            IntersectionMap::default(),
+        );
+        for step in 0..6 {
+            let t = step as f64 * 0.1;
+            let u = upload(1, Pose2::new(Vec2::new(-30.0 + 10.0 * t, -1.75), 0.0), vec![]);
+            let f = s.process(t, &[u]).unwrap();
+            assert_eq!(f.receivers.len(), 1);
+        }
     }
 }

@@ -214,9 +214,11 @@ mod tests {
     fn accumulator_reports_every_stage_in_order() {
         let mut acc = StageAccumulator::new();
         for k in 1..=4usize {
-            let mut t = StageTimes::default();
-            t.extraction = StageSample::new(k as f64 * 1e-3, 2);
-            t.knapsack = StageSample::new(k as f64 * 2e-3, 10);
+            let t = StageTimes {
+                extraction: StageSample::new(k as f64 * 1e-3, 2),
+                knapsack: StageSample::new(k as f64 * 2e-3, 10),
+                ..StageTimes::default()
+            };
             acc.record(&t);
         }
         let s = acc.summaries();

@@ -2,14 +2,17 @@
 //! → alerts, for each evaluated strategy.
 
 use crate::fault::FaultStream;
+use crate::pipeline::{
+    BoxedDisseminationStage, BroadcastDissemination, FrameCx, GreedyDissemination,
+    PipelineBuilder, PlanRequest, RoundRobinDissemination,
+};
 use crate::stages::{StageSample, StageTimes};
 use crate::{EdgeServer, NetworkConfig, ServerConfig, ServerFrame, Strategy, Upload, VehicleSide};
-use erpd_core::{broadcast_plan, greedy_plan, round_robin_plan, DisseminationPlan, Error};
+use erpd_core::Error;
 use erpd_geometry::Vec2;
 use erpd_sim::World;
 use erpd_tracking::ObjectId;
 use std::collections::{BTreeMap, BTreeSet};
-use std::time::Instant;
 
 /// DSRC-class V2V radio range, metres (the `V2v` strategy).
 pub const V2V_RANGE_M: f64 = 200.0;
@@ -19,40 +22,37 @@ pub const V2V_RANGE_M: f64 = 200.0;
 pub const V2V_CHANNEL_BPS: f64 = 6e6;
 
 /// Internal routing derived from the public [`Strategy`]: which of the
-/// three pipeline shapes a tick takes, and — on the edge path — which
-/// planner builds the dissemination schedule. Deriving this once at
-/// construction replaces re-matching the full strategy enum (and its
-/// `unreachable!` arms) inside the frame loop.
+/// three pipeline shapes a tick takes. On the edge path the dissemination
+/// schedule is built by the system's swappable dissemination [`crate::Stage`]
+/// (see [`default_dissemination`]), not by re-matching the strategy enum
+/// inside the frame loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Dispatch {
     /// No communication at all (the `Single` baseline).
     Passive,
-    /// Vehicle→edge→receivers pipeline with the given planner.
-    Edge(PlanKind),
+    /// Vehicle→edge→receivers pipeline.
+    Edge,
     /// Serverless broadcasting with on-board fusion.
     V2v,
-}
-
-/// Which dissemination planner the edge path runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PlanKind {
-    /// Relevance-greedy knapsack (ours).
-    Greedy,
-    /// Relevance-blind round robin (EMP).
-    RoundRobin,
-    /// Everything to everyone (the unlimited upper bound).
-    Broadcast,
 }
 
 impl Dispatch {
     fn of(strategy: Strategy) -> Self {
         match strategy {
             Strategy::Single => Dispatch::Passive,
-            Strategy::Ours => Dispatch::Edge(PlanKind::Greedy),
-            Strategy::Emp => Dispatch::Edge(PlanKind::RoundRobin),
-            Strategy::Unlimited => Dispatch::Edge(PlanKind::Broadcast),
+            Strategy::Ours | Strategy::Emp | Strategy::Unlimited => Dispatch::Edge,
             Strategy::V2v => Dispatch::V2v,
         }
+    }
+}
+
+/// The dissemination stage a strategy runs by default: the relevance-greedy
+/// knapsack for `Ours`, round robin for `Emp`, broadcast for `Unlimited`.
+fn default_dissemination(strategy: Strategy) -> BoxedDisseminationStage {
+    match strategy {
+        Strategy::Emp => Box::new(RoundRobinDissemination::new()),
+        Strategy::Unlimited => Box::new(BroadcastDissemination),
+        _ => Box::new(GreedyDissemination),
     }
 }
 
@@ -241,9 +241,13 @@ pub struct System {
     dispatch: Dispatch,
     vehicle_sides: BTreeMap<u64, VehicleSide>,
     server: EdgeServer,
+    /// The last hop of the stage graph: builds the downlink schedule.
+    disseminate: BoxedDisseminationStage,
     /// Receiver-local fusion state for the V2V strategy (one "server" per
     /// vehicle, running on board).
     v2v_servers: BTreeMap<u64, EdgeServer>,
+    /// Round-robin MAC state for the V2V shared channel (the EMP planner's
+    /// rotation lives inside [`RoundRobinDissemination`]).
     rr_offset: usize,
     last_server_frame: ServerFrame,
     /// Frame counter: the per-frame coordinate of every fault draw.
@@ -255,13 +259,30 @@ pub struct System {
 }
 
 impl System {
-    /// Creates a system bound to a world's map.
+    /// Creates a system bound to a world's map, with the default stage
+    /// graph for the configured strategy.
     pub fn new(config: SystemConfig, world: &World) -> Self {
+        System::with_pipeline(
+            config,
+            PipelineBuilder::new(config.server, world.map.clone()),
+        )
+    }
+
+    /// Creates a system whose server and dissemination stages come from a
+    /// custom [`PipelineBuilder`] — swap any stage while keeping the frame
+    /// loop, fault layer, and alert delivery identical. A dissemination
+    /// stage left unset defaults per strategy ([`default_dissemination`]);
+    /// note the V2V strategy's per-vehicle on-board pipelines always use
+    /// the default stages.
+    pub fn with_pipeline(config: SystemConfig, pipeline: PipelineBuilder) -> Self {
+        let (server, disseminate) =
+            pipeline.build_with_default(|| default_dissemination(config.strategy));
         System {
             config,
             dispatch: Dispatch::of(config.strategy),
             vehicle_sides: BTreeMap::new(),
-            server: EdgeServer::new(config.server, world.map.clone()),
+            server,
+            disseminate,
             v2v_servers: BTreeMap::new(),
             rr_offset: 0,
             last_server_frame: ServerFrame::default(),
@@ -373,11 +394,9 @@ impl System {
     /// range; [`Error::MissingVehicleState`] / [`Error::NonFiniteRelevance`]
     /// when internal invariants break (degenerate inputs).
     pub fn tick(&mut self, world: &mut World) -> Result<FrameReport, Error> {
-        let planner = match self.dispatch {
-            Dispatch::Passive => return Ok(FrameReport::default()),
-            Dispatch::V2v => None,
-            Dispatch::Edge(kind) => Some(kind),
-        };
+        if self.dispatch == Dispatch::Passive {
+            return Ok(FrameReport::default());
+        }
         let network = self.config.network;
         network.fault.validate()?;
         let frames = world.scan_connected();
@@ -422,9 +441,9 @@ impl System {
         let plan = self.plan_faults(&uploads);
         self.frame_index += 1;
 
-        let Some(kind) = planner else {
+        if self.dispatch == Dispatch::V2v {
             return self.tick_v2v(world, uploads, plan, extraction);
-        };
+        }
 
         // Arrivals: last frame's deferred (late) uploads first — oldest
         // data is processed first — unless a fresher upload from the same
@@ -452,23 +471,25 @@ impl System {
         let expected_uploads = plan.outcomes.len();
         let delivered_uploads = arrivals.len();
 
-        // --- Server side. ---
-        let sf = self.server.process(world.time(), &arrivals)?;
+        // --- Server side: the five-stage graph. ---
+        let now = world.time();
+        let sf = self.server.process(now, &arrivals)?;
 
-        // --- Dissemination decision. ---
-        let t0 = Instant::now();
+        // --- Dissemination decision: the graph's last (swappable) stage. ---
         let budget = network.downlink_budget_bytes();
-        let dplan: DisseminationPlan = match kind {
-            PlanKind::Greedy => greedy_plan(&sf.matrix, &sf.sizes, budget),
-            PlanKind::RoundRobin => {
-                let (p, next) =
-                    round_robin_plan(&sf.sizes, &sf.receivers, &sf.matrix, budget, self.rr_offset);
-                self.rr_offset = next;
-                p
-            }
-            PlanKind::Broadcast => broadcast_plan(&sf.sizes, &sf.receivers, &sf.matrix),
+        let cx = FrameCx {
+            now,
+            uploads: &arrivals,
         };
-        let dissemination = t0.elapsed().as_secs_f64();
+        let planned = self.disseminate.run(
+            &cx,
+            PlanRequest {
+                frame: &sf,
+                budget,
+            },
+        )?;
+        let dissemination = planned.sample.seconds;
+        let dplan = planned.artifact;
         let downlink_tx = if dplan.total_bytes > 0 {
             network.downlink_time(dplan.total_bytes.min(budget))
         } else {
@@ -494,11 +515,12 @@ impl System {
         alerted.dedup();
 
         // Complete the server's stage record with the two stages that run
-        // outside it: on-vehicle extraction and the dissemination knapsack
-        // (candidate items = every (object, receiver) pair it ranked).
+        // outside it: on-vehicle extraction and the dissemination stage
+        // (which reported its own sample, items = every (object, receiver)
+        // pair it ranked).
         let mut stages = sf.stages;
         stages.extraction = extraction_stage;
-        stages.knapsack = StageSample::new(dissemination, sf.sizes.len() * sf.receivers.len());
+        stages.knapsack = planned.sample;
 
         let report = FrameReport {
             upload_bytes: plan.upload_bytes,
@@ -893,6 +915,28 @@ mod tests {
         // Nothing is lost to jitter alone: deliveries (on time + late, minus
         // any superseded stragglers still in flight) stay near expectations.
         assert!(delivered > expected / 2, "delivered {delivered} of {expected}");
+    }
+
+    #[test]
+    fn module_times_and_stage_times_never_disagree() {
+        // Both views of the frame's timing are derived from the same
+        // per-stage samples, so they must match to the last bit — no
+        // tolerance, no separate clocks.
+        let mut s = scenario(ScenarioKind::UnprotectedLeftTurn, 7);
+        let mut sys = System::new(SystemConfig::new(Strategy::Ours), &s.world);
+        for _ in 0..10 {
+            let r = sys.tick(&mut s.world).unwrap();
+            assert_eq!(r.times.extraction, r.stages.extraction.seconds);
+            assert_eq!(r.times.map_build, r.stages.merge.seconds);
+            assert_eq!(
+                r.times.prediction,
+                r.stages.tracking.seconds
+                    + r.stages.prediction.seconds
+                    + r.stages.relevance.seconds
+            );
+            assert_eq!(r.times.dissemination, r.stages.knapsack.seconds);
+            s.world.step();
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! exposed through [`KalmanTracker`] with the same interface shape as
 //! [`crate::Tracker`] so callers can swap estimators.
 
-use crate::{Detection, ObjectId, ObjectKind};
+use crate::{Detection, ObjectId, ObjectKind, TrackedDetection};
 use erpd_geometry::Vec2;
 
 /// State estimate of one Kalman track.
@@ -185,9 +185,9 @@ impl KalmanTracker {
         self.tracks.iter().find(|t| t.id == id)
     }
 
-    /// Ingests one frame of detections at time `now`; returns the id
-    /// assigned to each detection, in input order.
-    pub fn update(&mut self, now: f64, detections: &[Detection]) -> Vec<ObjectId> {
+    /// Ingests one frame of detections at time `now`; returns each
+    /// detection paired with its assigned identity, in input order.
+    pub fn update(&mut self, now: f64, detections: &[Detection]) -> Vec<TrackedDetection> {
         let dt = self.last_time.map(|t| (now - t).max(0.0)).unwrap_or(0.0);
         self.last_time = Some(now);
 
@@ -225,7 +225,10 @@ impl KalmanTracker {
             match det_track[di] {
                 Some(ti) => {
                     self.tracks[ti].update(det.position, self.config.r_pos);
-                    out.push(self.tracks[ti].id);
+                    out.push(TrackedDetection {
+                        id: self.tracks[ti].id,
+                        detection: *det,
+                    });
                 }
                 None => {
                     let id = ObjectId(self.next_id);
@@ -245,7 +248,10 @@ impl KalmanTracker {
                         updates: 1,
                     });
                     track_used.push(true);
-                    out.push(id);
+                    out.push(TrackedDetection {
+                        id,
+                        detection: *det,
+                    });
                 }
             }
         }
@@ -305,11 +311,11 @@ mod tests {
     #[test]
     fn identity_maintained_through_misses() {
         let mut tr = KalmanTracker::new(KalmanConfig::default());
-        let id0 = tr.update(0.0, &[det(0.0, 0.0)])[0];
+        let id0 = tr.update(0.0, &[det(0.0, 0.0)])[0].id;
         tr.update(0.1, &[det(1.0, 0.0)]);
         tr.update(0.2, &[]); // miss
         tr.update(0.3, &[]); // miss
-        let id1 = tr.update(0.4, &[det(4.0, 0.0)])[0];
+        let id1 = tr.update(0.4, &[det(4.0, 0.0)])[0].id;
         assert_eq!(id0, id1);
         assert_eq!(tr.tracks().len(), 1);
     }
@@ -336,10 +342,10 @@ mod tests {
             let t = i as f64 * 0.1;
             let r = tr.update(t, &[det(10.0 * t, 0.0), det(60.0 - 10.0 * t, 8.0)]);
             if i == 0 {
-                ids = (Some(r[0]), Some(r[1]));
+                ids = (Some(r[0].id), Some(r[1].id));
             } else {
-                assert_eq!(Some(r[0]), ids.0);
-                assert_eq!(Some(r[1]), ids.1);
+                assert_eq!(Some(r[0].id), ids.0);
+                assert_eq!(Some(r[1].id), ids.1);
             }
         }
     }
@@ -361,8 +367,8 @@ mod tests {
     #[test]
     fn far_detection_opens_new_track() {
         let mut tr = KalmanTracker::new(KalmanConfig::default());
-        let a = tr.update(0.0, &[det(0.0, 0.0)])[0];
-        let b = tr.update(0.1, &[det(400.0, 0.0)])[0];
+        let a = tr.update(0.0, &[det(0.0, 0.0)])[0].id;
+        let b = tr.update(0.1, &[det(400.0, 0.0)])[0].id;
         assert_ne!(a, b);
     }
 

@@ -47,4 +47,4 @@ pub use kalman::{KalmanConfig, KalmanState, KalmanTrack, KalmanTracker};
 pub use object::{ObjectId, ObjectKind, ObjectState};
 pub use predict::{predict_ctrv, predict_from_track, PredictedTrajectory, PredictorConfig};
 pub use rules::{apply_rules, FollowerLink, LanePosition, RuleInput, TrackingSelection};
-pub use track::{Detection, Track, Tracker, TrackerConfig};
+pub use track::{Detection, Track, TrackedDetection, Tracker, TrackerConfig};

@@ -20,6 +20,18 @@ pub struct Detection {
     pub kind: ObjectKind,
 }
 
+/// One detection after association: the tracker-assigned identity paired
+/// with the observation it matched. Returned by [`Tracker::update`] and
+/// [`crate::KalmanTracker::update`] in input order, so downstream stages
+/// can zip identities back onto whatever produced the detections.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackedDetection {
+    /// Tracker-assigned id, stable across frames.
+    pub id: ObjectId,
+    /// The observation, as fed in.
+    pub detection: Detection,
+}
+
 /// A live track maintained by the tracker.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Track {
@@ -202,9 +214,9 @@ impl Tracker {
     }
 
     /// Ingests one frame of detections at time `now` (seconds, must be
-    /// non-decreasing across calls). Returns the ids assigned to each
-    /// detection, in input order.
-    pub fn update(&mut self, now: f64, detections: &[Detection]) -> Vec<ObjectId> {
+    /// non-decreasing across calls). Returns each detection paired with
+    /// its assigned identity, in input order.
+    pub fn update(&mut self, now: f64, detections: &[Detection]) -> Vec<TrackedDetection> {
         let dt = self.last_time.map(|t| (now - t).max(0.0)).unwrap_or(0.0);
         self.last_time = Some(now);
         let gate = self.config.gate_base + self.config.gate_speed * dt;
@@ -245,7 +257,10 @@ impl Tracker {
                         track.history.pop_front();
                     }
                     track.misses = 0;
-                    out.push(track.id);
+                    out.push(TrackedDetection {
+                        id: track.id,
+                        detection: *det,
+                    });
                 }
                 None => {
                     let id = ObjectId(self.next_id);
@@ -259,7 +274,10 @@ impl Tracker {
                         misses: 0,
                     });
                     track_used.push(true);
-                    out.push(id);
+                    out.push(TrackedDetection {
+                        id,
+                        detection: *det,
+                    });
                 }
             }
         }
@@ -293,7 +311,7 @@ mod tests {
         let mut ids = Vec::new();
         for i in 0..10 {
             let r = tr.update(i as f64 * 0.1, &[det(i as f64, 0.0)]);
-            ids.push(r[0]);
+            ids.push(r[0].id);
         }
         assert!(ids.windows(2).all(|w| w[0] == w[1]));
         assert_eq!(tr.tracks().len(), 1);
@@ -339,11 +357,11 @@ mod tests {
             // A moves east along y=0; B moves west along y=10.
             let r = tr.update(t, &[det(10.0 * t, 0.0), det(50.0 - 10.0 * t, 10.0)]);
             if i == 0 {
-                id_a = Some(r[0]);
-                id_b = Some(r[1]);
+                id_a = Some(r[0].id);
+                id_b = Some(r[1].id);
             } else {
-                assert_eq!(r[0], id_a.unwrap());
-                assert_eq!(r[1], id_b.unwrap());
+                assert_eq!(r[0].id, id_a.unwrap());
+                assert_eq!(r[1].id, id_b.unwrap());
             }
         }
     }
@@ -358,7 +376,7 @@ mod tests {
             kind: ObjectKind::Pedestrian,
         }]);
         assert_eq!(tr.tracks().len(), 2);
-        assert_eq!(tr.track(r[0]).unwrap().kind(), ObjectKind::Pedestrian);
+        assert_eq!(tr.track(r[0].id).unwrap().kind(), ObjectKind::Pedestrian);
     }
 
     #[test]
@@ -378,21 +396,21 @@ mod tests {
     #[test]
     fn occlusion_gap_survives_within_misses() {
         let mut tr = Tracker::new(TrackerConfig::default());
-        let id0 = tr.update(0.0, &[det(0.0, 0.0)])[0];
+        let id0 = tr.update(0.0, &[det(0.0, 0.0)])[0].id;
         tr.update(0.1, &[det(1.0, 0.0)]);
         // Two missed frames.
         tr.update(0.2, &[]);
         tr.update(0.3, &[]);
         // Reappears where constant velocity predicts (x ~ 4).
-        let id1 = tr.update(0.4, &[det(4.0, 0.0)])[0];
+        let id1 = tr.update(0.4, &[det(4.0, 0.0)])[0].id;
         assert_eq!(id0, id1);
     }
 
     #[test]
     fn far_detection_opens_new_track() {
         let mut tr = Tracker::new(TrackerConfig::default());
-        let a = tr.update(0.0, &[det(0.0, 0.0)])[0];
-        let b = tr.update(0.1, &[det(500.0, 0.0)])[0];
+        let a = tr.update(0.0, &[det(0.0, 0.0)])[0].id;
+        let b = tr.update(0.1, &[det(500.0, 0.0)])[0].id;
         assert_ne!(a, b);
         assert_eq!(tr.tracks().len(), 2);
     }

@@ -90,8 +90,8 @@ proptest! {
                 position: Vec2::new(vx * t, vy * t),
                 kind: ObjectKind::Vehicle,
             }];
-            gnn_ids.push(gnn.update(t, &d)[0]);
-            kf_ids.push(kf.update(t, &d)[0]);
+            gnn_ids.push(gnn.update(t, &d)[0].id);
+            kf_ids.push(kf.update(t, &d)[0].id);
         }
         prop_assert!(gnn_ids.windows(2).all(|w| w[0] == w[1]));
         prop_assert!(kf_ids.windows(2).all(|w| w[0] == w[1]));

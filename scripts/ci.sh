@@ -32,8 +32,8 @@ echo "==> cargo test -q --offline --no-default-features"
 cargo test -q --offline --no-default-features
 
 if [ "$quick" -eq 0 ]; then
-    echo "==> cargo clippy --all-targets --offline -- -D warnings"
-    cargo clippy --all-targets --offline -- -D warnings
+    echo "==> cargo clippy --workspace --all-targets --offline -- -D warnings"
+    cargo clippy --workspace --all-targets --offline -- -D warnings
 fi
 
 echo "ok"

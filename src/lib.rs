@@ -91,12 +91,14 @@ pub mod prelude {
     pub use erpd_core::{
         broadcast_plan, build_relevance_matrix, build_relevance_matrix_multi, greedy_plan,
         optimal_plan, round_robin_plan, Assignment, DisseminationPlan, ObjectHypotheses,
-        RelevanceConfig, RelevanceMatrix, RelevanceMode,
+        PlanInputs, RelevanceConfig, RelevanceMatrix, RelevanceMode,
     };
     pub use erpd_edge::{
-        run, run_seeds, AveragedResult, EdgeServer, Error, FaultModel, FrameReport, ModuleTimes,
-        ModuleTimesMs, NetworkConfig, RunConfig, RunResult, ServerConfig, ServerFrame, Strategy,
-        System, SystemConfig, TRACK_ID_BASE,
+        run, run_seeds, AveragedResult, BoxedDisseminationStage, BroadcastDissemination,
+        EdgeServer, Error, FaultModel, FrameCx, FrameReport, GreedyDissemination, ModuleTimes,
+        ModuleTimesMs, NetworkConfig, PipelineBuilder, PlanRequest, RoundRobinDissemination,
+        RunConfig, RunResult, ServerConfig, ServerFrame, Stage, Staged, Strategy, System,
+        SystemConfig, TRACK_ID_BASE,
     };
     pub use erpd_geometry::{Transform3, Vec2, Vec3};
     pub use erpd_par::{max_threads, set_max_threads};

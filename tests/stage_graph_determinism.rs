@@ -1,0 +1,119 @@
+//! Pins the frame-for-frame behaviour of the edge pipeline across the
+//! stage-graph refactor: the fingerprints below were captured from the
+//! pre-refactor straight-line `EdgeServer::process` / `System::tick`
+//! implementation, so a passing run proves the composed stage graph is
+//! bit-identical to it — deterministic counters, ids, byte tallies, and
+//! every `f64` (positions, relevances, staleness) compared via `to_bits`.
+//!
+//! The same constants must hold with and without the `parallel` feature
+//! (`scripts/ci.sh` runs both flavours) and on ideal *and* faulty
+//! networks; wall-clock fields are the only exemption.
+
+use erpd::prelude::*;
+
+/// FNV-1a over a stream of u64 words.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    fn push(&mut self, word: u64) {
+        self.0 = (self.0 ^ word).wrapping_mul(0x100000001b3);
+    }
+
+    fn push_f64(&mut self, x: f64) {
+        self.push(x.to_bits());
+    }
+}
+
+/// Hashes every deterministic field of a frame report plus the server
+/// frame's relevance matrix, sizes, and receivers.
+fn hash_frame(h: &mut Fnv, r: &FrameReport, sf: &ServerFrame) {
+    for &b in &r.upload_bytes {
+        h.push(b);
+    }
+    h.push(r.dissemination_bytes);
+    h.push(r.assignments as u64);
+    for &a in &r.alerted {
+        h.push(a);
+    }
+    for p in &r.detected_positions {
+        h.push_f64(p.x);
+        h.push_f64(p.y);
+    }
+    h.push(r.predicted_trajectories as u64);
+    h.push(r.expected_uploads as u64);
+    h.push(r.delivered_uploads as u64);
+    h.push(r.lost_uploads as u64);
+    h.push(r.late_uploads as u64);
+    h.push(r.truncated_uploads as u64);
+    h.push(r.coasted_objects as u64);
+    for &s in &r.staleness {
+        h.push_f64(s);
+    }
+    // Per-stage item counts are deterministic (seconds are wall clock).
+    for (_, sample) in sf.stages.iter() {
+        h.push(sample.items as u64);
+    }
+    for (receiver, object, relevance) in sf.matrix.iter() {
+        h.push(receiver.0);
+        h.push(object.0);
+        h.push_f64(relevance);
+    }
+    for (&id, &bytes) in &sf.sizes {
+        h.push(id.0);
+        h.push(bytes);
+    }
+    for &id in &sf.receivers {
+        h.push(id.0);
+    }
+}
+
+fn fingerprint(strategy: Strategy, fault: FaultModel, coast: f64, frames: usize) -> u64 {
+    let mut s = Scenario::build(
+        ScenarioConfig::default()
+            .with_kind(ScenarioKind::UnprotectedLeftTurn)
+            .with_n_vehicles(24)
+            .with_seed(5),
+    );
+    let cfg = SystemConfig::new(strategy)
+        .with_network(NetworkConfig::default().with_fault(fault))
+        .with_server(ServerConfig::default().with_coast_horizon(coast));
+    let mut sys = System::new(cfg, &s.world);
+    let mut h = Fnv::new();
+    for _ in 0..frames {
+        let r = sys.tick(&mut s.world).expect("valid configuration");
+        hash_frame(&mut h, &r, sys.last_server_frame());
+        s.world.step();
+    }
+    h.0
+}
+
+fn faulty() -> FaultModel {
+    FaultModel::default()
+        .with_loss_prob(0.2)
+        .with_jitter(0.02)
+        .with_churn_prob(0.05)
+        .with_truncate_prob(0.2)
+        .with_seed(11)
+}
+
+#[test]
+fn pipeline_fingerprints_match_the_pre_refactor_implementation() {
+    let cases: [(&str, Strategy, FaultModel, f64, usize, u64); 5] = [
+        ("ours/ideal", Strategy::Ours, FaultModel::default(), 0.0, 40, 0x07ed590fdcbdf321),
+        ("ours/faulty", Strategy::Ours, faulty(), 1.0, 40, 0xebbf2c5ecc6d20cd),
+        ("emp/ideal", Strategy::Emp, FaultModel::default(), 0.0, 20, 0x53f3219fc18e761f),
+        ("unlimited/ideal", Strategy::Unlimited, FaultModel::default(), 0.0, 20, 0x2ba07434e1666a26),
+        ("v2v/ideal", Strategy::V2v, FaultModel::default(), 0.0, 10, 0xe15b19508e53630c),
+    ];
+    for (name, strategy, fault, coast, frames, expected) in cases {
+        let got = fingerprint(strategy, fault, coast, frames);
+        assert_eq!(
+            got, expected,
+            "{name}: fingerprint {got:#018x} != pinned {expected:#018x}"
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Micro-benchmark: DBSCAN scaling over cloud size and density.
+//!
+//! Exercises both layouts of the flat CSR grid: compact dense-urban clouds
+//! (counting-sort layout) and wide sparse clouds (sorted-run layout), at
+//! 1k/5k/20k points, comparing the one-shot entry point against a reused
+//! [`DbscanScratch`] (the extractor's steady state).
+
+use erpd_bench::runner::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use erpd_geometry::Vec2;
+use erpd_pointcloud::{dbscan, DbscanParams, DbscanScratch};
+use erpd_rand::rngs::StdRng;
+use erpd_rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// A dense-urban cloud: `n` points in touching blobs on a city-block grid,
+/// the regime a busy intersection frame produces.
+fn dense_urban(n: usize, seed: u64) -> Vec<Vec2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let blobs = (n / 40).max(1);
+    let side = (blobs as f64).sqrt().ceil() as usize;
+    let mut pts = Vec::with_capacity(n);
+    while pts.len() < n {
+        let b = pts.len() / 40 % blobs;
+        let c = Vec2::new((b % side) as f64 * 3.0, (b / side) as f64 * 3.0);
+        pts.push(c + Vec2::new(rng.gen_range(-1.1..1.1), rng.gen_range(-1.1..1.1)));
+    }
+    pts
+}
+
+/// A sparse cloud: `n` points scattered over a kilometre-scale extent, the
+/// regime that forces the grid's sorted-run layout.
+fn sparse(n: usize, seed: u64) -> Vec<Vec2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Vec2::new(rng.gen_range(-1e3..1e3), rng.gen_range(-1e3..1e3)))
+        .collect()
+}
+
+fn bench_dbscan_scaling(c: &mut Criterion) {
+    let params = DbscanParams::default();
+    let mut group = c.benchmark_group("dbscan_scaling");
+    group.sample_size(20);
+    for n in [1_000usize, 5_000, 20_000] {
+        for (density, pts) in [
+            ("dense_urban", dense_urban(n, 42)),
+            ("sparse", sparse(n, 7)),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("one_shot/{density}"), n),
+                &n,
+                |b, _| b.iter(|| dbscan(black_box(&pts), params)),
+            );
+            let mut scratch = DbscanScratch::new();
+            group.bench_with_input(
+                BenchmarkId::new(format!("scratch/{density}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        scratch.run(black_box(&pts), params);
+                        black_box(scratch.n_clusters())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dbscan_scaling);
+criterion_main!(benches);

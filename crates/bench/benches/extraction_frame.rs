@@ -1,0 +1,89 @@
+//! Micro-benchmark: one full vehicle-side extraction frame on a warm
+//! extractor — the steady state `VehicleSide` actually runs, as opposed to
+//! the cold-start numbers in `extraction.rs`.
+//!
+//! Covers 1k/5k/20k-point clouds in both regimes (dense urban blobs and
+//! sparse long-range returns), plus the fused ground-removal + world
+//! transform pass against the old two-pass materialisation.
+
+use erpd_bench::runner::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use erpd_geometry::{Transform3, Vec2, Vec3};
+use erpd_pointcloud::{ExtractionConfig, GroundFilter, MovingObjectExtractor, PointCloud};
+use erpd_rand::rngs::StdRng;
+use erpd_rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// A ground-free dense-urban cloud: car-sized blobs on a block grid.
+fn dense_urban_cloud(n: usize, seed: u64) -> PointCloud {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let blobs = (n / 60).max(1);
+    let side = (blobs as f64).sqrt().ceil() as usize;
+    let mut cloud = PointCloud::with_capacity(n);
+    while cloud.len() < n {
+        let b = cloud.len() / 60 % blobs;
+        let cx = (b % side) as f64 * 8.0;
+        let cy = (b / side) as f64 * 8.0;
+        cloud.push(Vec3::new(
+            cx + rng.gen_range(-2.0..2.0),
+            cy + rng.gen_range(-0.9..0.9),
+            rng.gen_range(-1.2..0.3),
+        ));
+    }
+    cloud
+}
+
+/// A sparse cloud: scattered long-range returns, mostly noise to DBSCAN.
+fn sparse_cloud(n: usize, seed: u64) -> PointCloud {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Vec3::new(
+                rng.gen_range(-500.0..500.0),
+                rng.gen_range(-500.0..500.0),
+                rng.gen_range(-1.2..1.0),
+            )
+        })
+        .collect()
+}
+
+fn bench_extraction_frame(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extraction_frame");
+    group.sample_size(20);
+    for n in [1_000usize, 5_000, 20_000] {
+        for (density, cloud) in [
+            ("dense_urban", dense_urban_cloud(n, 42)),
+            ("sparse", sparse_cloud(n, 7)),
+        ] {
+            // Warm extractor: the first frame seeds prev_centroids and the
+            // scratch buffers; iterations then measure the zero-alloc
+            // steady state.
+            let mut ex = MovingObjectExtractor::new(ExtractionConfig::default());
+            ex.process(&cloud);
+            group.bench_with_input(
+                BenchmarkId::new(format!("warm_process/{density}"), n),
+                &n,
+                |b, _| b.iter(|| black_box(ex.process(black_box(&cloud)))),
+            );
+        }
+    }
+    // The fused ground+transform pass vs the old two-cloud materialisation,
+    // on the largest dense frame (the vehicle-side hot path).
+    let raw = dense_urban_cloud(20_000, 42);
+    let ground = GroundFilter::new(1.8, 0.1);
+    let t = Transform3::lidar_to_world(Vec2::new(120.0, -40.0), 0.7, 1.8);
+    group.bench_function("ground_transform/two_pass", |b| {
+        b.iter(|| black_box(ground.apply(black_box(&raw)).transformed(&t)))
+    });
+    let mut scratch = PointCloud::new();
+    group.bench_function("ground_transform/fused_into_scratch", |b| {
+        b.iter(|| {
+            scratch.clear();
+            ground.apply_transformed_into(black_box(&raw), &t, &mut scratch);
+            black_box(scratch.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction_frame);
+criterion_main!(benches);

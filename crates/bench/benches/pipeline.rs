@@ -37,6 +37,7 @@ fn crowded_uploads(n: u64) -> Vec<Upload> {
             objects,
             bytes: 1000,
             processing_time: 0.001,
+            clustered_points: 0,
         });
     }
     uploads

@@ -1288,6 +1288,7 @@ mod tests {
                 objects,
                 bytes: 1000,
                 processing_time: 0.001,
+                clustered_points: 0,
             });
         }
         uploads
@@ -1370,6 +1371,7 @@ mod tests {
             objects,
             bytes: 100,
             processing_time: 0.0,
+            clustered_points: 0,
         }];
         let mut stage = AssociateStage::new(&config);
         let cx = FrameCx {

@@ -323,6 +323,7 @@ mod tests {
             objects,
             bytes: 1000,
             processing_time: 0.001,
+            clustered_points: 0,
         }
     }
 

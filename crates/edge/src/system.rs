@@ -432,10 +432,12 @@ impl System {
             side.process(frame, connected, &network)
         });
         let mut extraction = 0.0f64;
+        let mut clustered = 0usize;
         for u in &uploads {
             extraction = extraction.max(u.processing_time);
+            clustered += u.clustered_points;
         }
-        let extraction_stage = StageSample::new(extraction, uploads.len());
+        let extraction_stage = StageSample::new(extraction, clustered);
 
         // --- The channel: every upload runs through the fault layer. ---
         let plan = self.plan_faults(&uploads);
@@ -683,7 +685,8 @@ impl System {
         }
         // On the V2V path extraction still happens per vehicle; there is no
         // central knapsack, so that stage stays zero.
-        stages.extraction = StageSample::new(extraction, uploads.len());
+        let clustered: usize = uploads.iter().map(|u| u.clustered_points).sum();
+        stages.extraction = StageSample::new(extraction, clustered);
         self.last_server_frame = last_frame;
         Ok(FrameReport {
             upload_bytes: plan.upload_bytes,

@@ -58,9 +58,14 @@ pub struct Upload {
     /// Bytes actually transmitted (object points plus, for EMP, static
     /// clutter; for Unlimited, the raw frame).
     pub bytes: u64,
-    /// Vehicle-side processing time, seconds (already scaled to the
-    /// Jetson-class budget, see [`EXTRACTION_TIME_SCALE`]).
+    /// Vehicle-side processing time, seconds, already scaled to the
+    /// Jetson-class budget (see [`EXTRACTION_TIME_SCALE`]) for every
+    /// strategy that computes on the OBU — Ours, V2V, *and* EMP.
     pub processing_time: f64,
+    /// Points fed to the on-board clustering (DBSCAN input size) — the
+    /// quantity the extraction stage's cost actually scales with. Zero for
+    /// strategies that do not cluster on board (Single, EMP, Unlimited).
+    pub clustered_points: usize,
 }
 
 /// Host-to-Jetson scaling of the vehicle-side extraction runtime (DESIGN.md
@@ -78,12 +83,16 @@ pub const EMP_CLUTTER_FRACTION: f64 = 0.35;
 /// overflow subsampling.
 pub const MIN_DETECTABLE_POINTS: usize = 8;
 
-/// Per-vehicle upload processor (holds the stateful extractor for `Ours`).
+/// Per-vehicle upload processor (holds the stateful extractor for `Ours`
+/// and the reused world-frame scratch cloud).
 #[derive(Debug)]
 pub struct VehicleSide {
     strategy: Strategy,
     ground: GroundFilter,
     extractor: MovingObjectExtractor,
+    /// Reused across frames: the ground-free world-frame cloud the fused
+    /// filter+transform pass streams into (zero steady-state allocation).
+    world_scratch: PointCloud,
 }
 
 impl VehicleSide {
@@ -93,6 +102,7 @@ impl VehicleSide {
             strategy,
             ground: GroundFilter::new(sensor_height, 0.1),
             extractor: MovingObjectExtractor::new(ExtractionConfig::default()),
+            world_scratch: PointCloud::new(),
         }
     }
 
@@ -107,34 +117,67 @@ impl VehicleSide {
         connected_positions: &[(u64, Vec2)],
         network: &NetworkConfig,
     ) -> Upload {
-        match self.strategy {
+        self.process_with_host_time(frame, connected_positions, network)
+            .0
+    }
+
+    /// Like [`process`](Self::process) but also returns the raw
+    /// host-measured seconds *before* the [`EXTRACTION_TIME_SCALE`]
+    /// Jetson scaling — the seam the scaling regression tests observe.
+    /// Every strategy that computes on the OBU (Ours, V2V, EMP) reports
+    /// `processing_time == host_seconds * EXTRACTION_TIME_SCALE`; Single
+    /// and Unlimited do no on-board processing and report zero.
+    pub fn process_with_host_time(
+        &mut self,
+        frame: &LidarFrame,
+        connected_positions: &[(u64, Vec2)],
+        network: &NetworkConfig,
+    ) -> (Upload, f64) {
+        let mut upload = match self.strategy {
             Strategy::Single => Upload {
                 vehicle_id: frame.vehicle_id,
                 pose: frame.sensor_pose,
                 objects: Vec::new(),
                 bytes: 0,
                 processing_time: 0.0,
+                clustered_points: 0,
             },
             // V2V shares the vehicle-side pipeline with Ours: extraction
             // happens on board either way.
             Strategy::Ours | Strategy::V2v => self.process_ours(frame),
             Strategy::Emp => self.process_emp(frame, connected_positions, network),
             Strategy::Unlimited => self.process_unlimited(frame),
-        }
+        };
+        // The branches report raw host seconds; the Jetson scaling is
+        // applied once, here, so no OBU strategy can dodge it.
+        let host_seconds = upload.processing_time;
+        upload.processing_time = host_seconds * EXTRACTION_TIME_SCALE;
+        (upload, host_seconds)
     }
 
-    /// The paper's pipeline: ground removal → world frame → moving-object
-    /// extraction → upload moving objects only.
+    /// The paper's pipeline: fused ground removal + world transform (one
+    /// pass into the reused scratch cloud) → moving-object extraction →
+    /// upload moving objects only. Reports raw host seconds.
     fn process_ours(&mut self, frame: &LidarFrame) -> Upload {
         let t0 = Instant::now();
-        let no_ground = self.ground.apply(&frame.full_cloud());
         let t_lw = Transform3::lidar_to_world(
             frame.sensor_pose.position,
             frame.sensor_pose.heading(),
             frame.sensor_height,
         );
-        let world_cloud = no_ground.transformed(&t_lw);
-        let out = self.extractor.process(&world_cloud);
+        // Stream every sensor sub-cloud through the fused filter+transform
+        // in the same order `full_cloud()` concatenated them, so the
+        // extractor sees the exact point sequence of the old three-cloud
+        // path without materialising any of the intermediates.
+        self.world_scratch.clear();
+        for o in &frame.objects {
+            self.ground
+                .apply_transformed_into(&o.points, &t_lw, &mut self.world_scratch);
+        }
+        self.ground
+            .apply_transformed_into(&frame.ground_sample, &t_lw, &mut self.world_scratch);
+        let clustered_points = self.world_scratch.len();
+        let out = self.extractor.process(&self.world_scratch);
         let mut objects = Vec::new();
         let mut bytes = 64u64; // pose + header
         for obj in out.objects.into_iter().filter(|o| o.moving) {
@@ -144,13 +187,13 @@ impl VehicleSide {
                 points: obj.points,
             });
         }
-        let processing_time = t0.elapsed().as_secs_f64() * EXTRACTION_TIME_SCALE;
         Upload {
             vehicle_id: frame.vehicle_id,
             pose: frame.sensor_pose,
             objects,
             bytes,
-            processing_time,
+            processing_time: t0.elapsed().as_secs_f64(),
+            clustered_points,
         }
     }
 
@@ -225,6 +268,7 @@ impl VehicleSide {
             objects,
             bytes,
             processing_time: t0.elapsed().as_secs_f64(),
+            clustered_points: 0,
         }
     }
 
@@ -254,6 +298,7 @@ impl VehicleSide {
             objects,
             bytes: frame.raw_size_bytes() as u64,
             processing_time: 0.0,
+            clustered_points: 0,
         }
     }
 }
@@ -375,6 +420,72 @@ mod tests {
         assert_eq!(u.bytes, frame.raw_size_bytes() as u64);
         assert_eq!(u.objects.len(), 1);
         assert!(u.bytes > 2_000_000, "raw frames are MB-scale");
+    }
+
+    #[test]
+    fn every_obu_strategy_pays_the_jetson_scaling() {
+        // Regression: EMP used to report raw host seconds while Ours was
+        // scaled by EXTRACTION_TIME_SCALE, skewing the latency comparison
+        // in EMP's favour. The seam returns both numbers so the invariant
+        // is testable without timing assumptions.
+        let net = NetworkConfig::default();
+        let frame = frame_with_car_at(20.0, Pose2::identity());
+        for strategy in [Strategy::Ours, Strategy::V2v, Strategy::Emp] {
+            let mut side = VehicleSide::new(strategy, 1.8);
+            let (u, host) =
+                side.process_with_host_time(&frame, &[(1, Vec2::ZERO)], &net);
+            assert!(host > 0.0, "{strategy:?} does on-board work");
+            assert_eq!(
+                u.processing_time,
+                host * EXTRACTION_TIME_SCALE,
+                "{strategy:?} must report Jetson-scaled time"
+            );
+        }
+        for strategy in [Strategy::Single, Strategy::Unlimited] {
+            let mut side = VehicleSide::new(strategy, 1.8);
+            let (u, host) =
+                side.process_with_host_time(&frame, &[(1, Vec2::ZERO)], &net);
+            assert_eq!(host, 0.0, "{strategy:?} has no OBU compute");
+            assert_eq!(u.processing_time, 0.0);
+        }
+    }
+
+    #[test]
+    fn clustered_points_reports_dbscan_input_size() {
+        let net = NetworkConfig::default();
+        let frame = frame_with_car_at(20.0, Pose2::identity());
+        let mut ours = VehicleSide::new(Strategy::Ours, 1.8);
+        let u = ours.process(&frame, &[], &net);
+        // The DBSCAN input is the ground-free frame: every object point
+        // survives, the ground sample does not.
+        let expected: usize = frame.objects.iter().map(|o| o.points.len()).sum();
+        assert_eq!(u.clustered_points, expected);
+        assert!(u.clustered_points > 0);
+        for strategy in [Strategy::Single, Strategy::Emp, Strategy::Unlimited] {
+            let mut side = VehicleSide::new(strategy, 1.8);
+            let u = side.process(&frame, &[(1, Vec2::ZERO)], &net);
+            assert_eq!(u.clustered_points, 0, "{strategy:?} does not cluster on board");
+        }
+    }
+
+    #[test]
+    fn fused_path_matches_three_cloud_reference() {
+        // The fused scratch pipeline must feed the extractor the exact
+        // point sequence of the old full_cloud → ground → transformed path.
+        let frame = frame_with_car_at(23.0, Pose2::new(Vec2::new(3.0, -1.0), 0.4));
+        let ground = GroundFilter::new(1.8, 0.1);
+        let t_lw = Transform3::lidar_to_world(
+            frame.sensor_pose.position,
+            frame.sensor_pose.heading(),
+            frame.sensor_height,
+        );
+        let reference = ground.apply(&frame.full_cloud()).transformed(&t_lw);
+        let mut fused = PointCloud::new();
+        for o in &frame.objects {
+            ground.apply_transformed_into(&o.points, &t_lw, &mut fused);
+        }
+        ground.apply_transformed_into(&frame.ground_sample, &t_lw, &mut fused);
+        assert_eq!(fused, reference);
     }
 
     #[test]

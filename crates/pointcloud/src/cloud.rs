@@ -75,6 +75,12 @@ impl PointCloud {
         self.points.push(p);
     }
 
+    /// Removes all points, keeping the allocation for reuse.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.points.clear();
+    }
+
     /// Iterates over the points.
     pub fn iter(&self) -> std::slice::Iter<'_, Vec3> {
         self.points.iter()
@@ -127,6 +133,35 @@ impl PointCloud {
     /// Keeps only points satisfying the predicate.
     pub fn retain<F: FnMut(&Vec3) -> bool>(&mut self, f: F) {
         self.points.retain(f);
+    }
+
+    /// Filter and transform fused into one pass: returns the transformed
+    /// image of every point satisfying the predicate, in one allocation —
+    /// equivalent to `self.filtered(f).transformed(t)` (bit-identical,
+    /// since the same `t.apply` runs on the same surviving points in the
+    /// same order) without the intermediate cloud.
+    pub fn filter_transform<F: FnMut(&Vec3) -> bool>(&self, mut f: F, t: &Transform3) -> PointCloud {
+        PointCloud {
+            points: self
+                .points
+                .iter()
+                .filter(|p| f(p))
+                .map(|p| t.apply(*p))
+                .collect(),
+        }
+    }
+
+    /// Appends the fused filter+transform image of this cloud to `out`
+    /// (which is *not* cleared, so several source clouds can be funnelled
+    /// into one reused scratch buffer with zero steady-state allocation).
+    pub fn filter_transform_into<F: FnMut(&Vec3) -> bool>(
+        &self,
+        mut f: F,
+        t: &Transform3,
+        out: &mut PointCloud,
+    ) {
+        out.points
+            .extend(self.points.iter().filter(|p| f(p)).map(|p| t.apply(*p)));
     }
 
     /// Returns a new cloud with the points satisfying the predicate.
@@ -228,6 +263,34 @@ mod tests {
         assert!((w.points()[0] - Vec3::new(11.0, 0.0, 2.0)).norm() < 1e-12);
         // Original is untouched.
         assert_eq!(c.points()[0], Vec3::new(1.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn filter_transform_fuses_filtered_then_transformed() {
+        let c = PointCloud::from_points(vec![
+            Vec3::new(1.0, 2.0, -1.8),
+            Vec3::new(3.0, -4.0, 0.5),
+            Vec3::new(-2.0, 7.0, 1.2),
+        ]);
+        let t = Transform3::lidar_to_world(Vec2::new(12.0, -3.0), 0.7, 1.8);
+        let keep = |p: &Vec3| p.z > -1.0;
+        let expected = c.filtered(keep).transformed(&t);
+        assert_eq!(c.filter_transform(keep, &t), expected);
+        // The appending variant funnels several sources into one scratch.
+        let mut out = PointCloud::new();
+        c.filter_transform_into(keep, &t, &mut out);
+        c.filter_transform_into(keep, &t, &mut out);
+        assert_eq!(out.len(), 2 * expected.len());
+        assert_eq!(&out.points()[..expected.len()], expected.points());
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut c = PointCloud::from_points(vec![Vec3::ZERO; 16]);
+        let cap_before = c.points.capacity();
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.points.capacity(), cap_before);
     }
 
     #[test]

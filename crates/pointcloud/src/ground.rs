@@ -5,6 +5,7 @@
 //! with `z ≤ -h + ε`, where ε absorbs measurement error.
 
 use crate::PointCloud;
+use erpd_geometry::Transform3;
 
 /// Removes ground returns from sensor-frame point clouds.
 ///
@@ -76,6 +77,24 @@ impl GroundFilter {
         let thr = self.threshold();
         cloud.retain(|p| p.z > thr);
     }
+
+    /// Ground removal and rigid transform fused into one pass — the
+    /// vehicle-side hot path's replacement for
+    /// `self.apply(cloud).transformed(t)`, bit-identical to it with one
+    /// allocation instead of two.
+    pub fn apply_transformed(&self, cloud: &PointCloud, t: &Transform3) -> PointCloud {
+        let thr = self.threshold();
+        cloud.filter_transform(|p| p.z > thr, t)
+    }
+
+    /// Appends the fused ground-removal + transform image of `cloud` to
+    /// `out` without clearing it, so several sensor sub-clouds can stream
+    /// into one reused world-frame scratch with zero steady-state
+    /// allocation.
+    pub fn apply_transformed_into(&self, cloud: &PointCloud, t: &Transform3, out: &mut PointCloud) {
+        let thr = self.threshold();
+        cloud.filter_transform_into(|p| p.z > thr, t, out);
+    }
 }
 
 impl Default for GroundFilter {
@@ -130,6 +149,22 @@ mod tests {
         assert!((f.threshold() + 1.75).abs() < 1e-12);
         assert_eq!(f.sensor_height(), 2.0);
         assert_eq!(f.epsilon(), 0.25);
+    }
+
+    #[test]
+    fn fused_apply_transformed_matches_two_pass() {
+        use erpd_geometry::Vec2;
+        let f = GroundFilter::new(1.8, 0.1);
+        let c = cloud_with_ground();
+        let t = Transform3::lidar_to_world(Vec2::new(30.0, -12.0), 1.1, 1.8);
+        let expected = f.apply(&c).transformed(&t);
+        assert_eq!(f.apply_transformed(&c, &t), expected);
+        let mut out = PointCloud::new();
+        f.apply_transformed_into(&c, &t, &mut out);
+        assert_eq!(out, expected);
+        // Appending semantics: a second source cloud extends the scratch.
+        f.apply_transformed_into(&c, &t, &mut out);
+        assert_eq!(out.len(), 2 * expected.len());
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use compress::{
     compress, compression_ratio, decompress, max_quantization_error, DecodeError,
     COMPRESSED_POINT_BYTES,
 };
-pub use dbscan::{dbscan, DbscanParams, DbscanResult};
+pub use dbscan::{dbscan, DbscanParams, DbscanResult, DbscanScratch};
 pub use ground::GroundFilter;
 pub use merge::{merge_clouds, PointCloudMerger};
 pub use registration::{apply_planar, icp_align, IcpConfig, IcpResult};

@@ -10,8 +10,21 @@
 //! Clusters are compared in a motion-compensated (world) frame: vehicles
 //! know their own SLAM pose, so they transform each frame before the
 //! comparison. This mirrors the paper, which uploads poses alongside points.
+//!
+//! # Allocation discipline
+//!
+//! Extraction is the dominant module of the end-to-end latency budget
+//! (paper §V), so [`MovingObjectExtractor::process`] is written for a
+//! zero-alloc steady state: the planar projection, the DBSCAN grid /
+//! label / traversal buffers ([`DbscanScratch`]), the per-cluster count
+//! and centroid-sum accumulators, and the previous/next centroid lists
+//! are all owned by the extractor and reused frame over frame. After the
+//! first few frames have grown them to the workload's high-water mark,
+//! the only per-frame heap allocations are the returned
+//! [`ExtractionOutput`] itself (its object list and each cluster's
+//! `PointCloud`, sized exactly via a label-partitioned counting pass).
 
-use crate::{dbscan, DbscanParams, PointCloud};
+use crate::{DbscanParams, DbscanScratch, PointCloud};
 use erpd_geometry::Vec2;
 
 /// Configuration for [`MovingObjectExtractor`].
@@ -101,6 +114,12 @@ pub struct MovingObjectExtractor {
     config: ExtractionConfig,
     prev_centroids: Vec<Vec2>,
     frames_seen: usize,
+    // Reusable scratch (see the module docs' allocation discipline).
+    planar: Vec<Vec2>,
+    dbscan: DbscanScratch,
+    cluster_counts: Vec<usize>,
+    cluster_sums: Vec<Vec2>,
+    next_centroids: Vec<Vec2>,
 }
 
 impl MovingObjectExtractor {
@@ -110,6 +129,11 @@ impl MovingObjectExtractor {
             config,
             prev_centroids: Vec::new(),
             frames_seen: 0,
+            planar: Vec::new(),
+            dbscan: DbscanScratch::new(),
+            cluster_counts: Vec::new(),
+            cluster_sums: Vec::new(),
+            next_centroids: Vec::new(),
         }
     }
 
@@ -133,24 +157,52 @@ impl MovingObjectExtractor {
     /// from nowhere either entered the field of view or moved farther than
     /// the match radius in one frame — both warrant an upload.
     pub fn process(&mut self, cloud: &PointCloud) -> ExtractionOutput {
-        let planar: Vec<Vec2> = cloud.iter().map(|p| p.xy()).collect();
-        let result = dbscan(&planar, self.config.dbscan);
-        let clusters = result.clusters();
+        self.planar.clear();
+        self.planar.extend(cloud.iter().map(|p| p.xy()));
+        self.dbscan.run(&self.planar, self.config.dbscan);
+        let n_clusters = self.dbscan.n_clusters();
+
+        // Label-partitioned cluster build: one counting pass sizes every
+        // cluster's cloud exactly, then a single in-order pass distributes
+        // points and accumulates centroid sums — point order (and with it
+        // the centroid summation order) matches the ascending index lists
+        // the old `DbscanResult::clusters()` produced, bit for bit.
+        self.cluster_counts.clear();
+        self.cluster_counts.resize(n_clusters, 0);
+        for i in 0..self.planar.len() {
+            if let Some(c) = self.dbscan.label(i) {
+                self.cluster_counts[c] += 1;
+            }
+        }
+        let mut objects: Vec<DetectedObject> = self
+            .cluster_counts
+            .iter()
+            .map(|&n| DetectedObject {
+                centroid: Vec2::ZERO,
+                points: PointCloud::with_capacity(n),
+                moving: false,
+                displacement: None,
+            })
+            .collect();
+        self.cluster_sums.clear();
+        self.cluster_sums.resize(n_clusters, Vec2::ZERO);
+        for (i, p) in cloud.iter().enumerate() {
+            if let Some(c) = self.dbscan.label(i) {
+                objects[c].points.push(*p);
+                self.cluster_sums[c] += self.planar[i];
+            }
+        }
 
         let first_frame = self.frames_seen == 0;
-        let mut objects = Vec::with_capacity(clusters.len());
-        let mut new_centroids = Vec::with_capacity(clusters.len());
-
-        for idx_list in &clusters {
-            let pts: PointCloud = idx_list.iter().map(|&i| cloud.points()[i]).collect();
-            let centroid = Vec2::centroid(idx_list.iter().map(|&i| planar[i]))
-                .expect("DBSCAN clusters are non-empty");
-            new_centroids.push(centroid);
+        self.next_centroids.clear();
+        for (c, obj) in objects.iter_mut().enumerate() {
+            let centroid = self.cluster_sums[c] / self.cluster_counts[c] as f64;
+            self.next_centroids.push(centroid);
 
             let nearest = self
                 .prev_centroids
                 .iter()
-                .map(|c| c.distance(centroid))
+                .map(|prev| prev.distance(centroid))
                 .min_by(|a, b| a.partial_cmp(b).expect("finite distances"));
 
             let (moving, displacement) = match nearest {
@@ -162,19 +214,16 @@ impl MovingObjectExtractor {
                 _ => (true, None),
             };
 
-            objects.push(DetectedObject {
-                centroid,
-                points: pts,
-                moving,
-                displacement,
-            });
+            obj.centroid = centroid;
+            obj.moving = moving;
+            obj.displacement = displacement;
         }
 
-        self.prev_centroids = new_centroids;
+        std::mem::swap(&mut self.prev_centroids, &mut self.next_centroids);
         self.frames_seen += 1;
         ExtractionOutput {
             objects,
-            noise_points: result.noise().len(),
+            noise_points: self.dbscan.noise_count(),
         }
     }
 

@@ -1,0 +1,258 @@
+//! Differential test: the flat-CSR-grid DBSCAN must be label-for-label
+//! identical to the original `HashMap`-grid implementation it replaced.
+//!
+//! The reference below is the pre-optimisation algorithm, kept verbatim
+//! (spatial hash map, duplicate frontier pushes and all) so "bit-identical"
+//! is proved at the unit level, not only through the end-to-end pipeline
+//! fingerprints in `tests/stage_graph_determinism.rs`.
+
+use erpd_geometry::Vec2;
+use erpd_pointcloud::{dbscan, DbscanParams, DbscanScratch};
+use erpd_rand::proptest::prelude::*;
+use erpd_rand::rngs::StdRng;
+use erpd_rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+// --- The original HashMap-grid DBSCAN, verbatim -------------------------
+
+struct RefGrid {
+    cells: HashMap<(i64, i64), Vec<usize>>,
+    eps: f64,
+}
+
+impl RefGrid {
+    fn build(points: &[Vec2], eps: f64) -> Self {
+        let mut cells: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        for (i, p) in points.iter().enumerate() {
+            cells.entry(Self::key(*p, eps)).or_default().push(i);
+        }
+        RefGrid { cells, eps }
+    }
+
+    fn key(p: Vec2, eps: f64) -> (i64, i64) {
+        ((p.x / eps).floor() as i64, (p.y / eps).floor() as i64)
+    }
+
+    fn neighbors(&self, points: &[Vec2], idx: usize, out: &mut Vec<usize>) {
+        out.clear();
+        let p = points[idx];
+        let (cx, cy) = Self::key(p, self.eps);
+        let eps2 = self.eps * self.eps;
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(bucket) = self.cells.get(&(cx + dx, cy + dy)) {
+                    for &j in bucket {
+                        if points[j].distance_squared(p) <= eps2 {
+                            out.push(j);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The pre-optimisation clustering loop: unfiltered frontier pushes, one
+/// fresh allocation set per call.
+fn reference_dbscan(points: &[Vec2], params: DbscanParams) -> (Vec<Option<usize>>, usize) {
+    const UNVISITED: usize = usize::MAX;
+    const NOISE: usize = usize::MAX - 1;
+
+    let grid = RefGrid::build(points, params.eps);
+    let mut labels = vec![UNVISITED; points.len()];
+    let mut n_clusters = 0usize;
+    let mut neighbors = Vec::new();
+    let mut frontier = Vec::new();
+
+    for i in 0..points.len() {
+        if labels[i] != UNVISITED {
+            continue;
+        }
+        grid.neighbors(points, i, &mut neighbors);
+        if neighbors.len() < params.min_points {
+            labels[i] = NOISE;
+            continue;
+        }
+        let cluster = n_clusters;
+        n_clusters += 1;
+        labels[i] = cluster;
+        frontier.clear();
+        frontier.extend(neighbors.iter().copied());
+        while let Some(j) = frontier.pop() {
+            if labels[j] == NOISE {
+                labels[j] = cluster;
+            }
+            if labels[j] != UNVISITED {
+                continue;
+            }
+            labels[j] = cluster;
+            grid.neighbors(points, j, &mut neighbors);
+            if neighbors.len() >= params.min_points {
+                frontier.extend(neighbors.iter().copied());
+            }
+        }
+    }
+
+    let labels = labels
+        .into_iter()
+        .map(|l| if l == NOISE || l == UNVISITED { None } else { Some(l) })
+        .collect();
+    (labels, n_clusters)
+}
+
+// --- Harness ------------------------------------------------------------
+
+/// Asserts label-for-label equality between the CSR implementation (both
+/// the one-shot wrapper and a reused scratch) and the reference.
+fn assert_matches_reference(pts: &[Vec2], params: DbscanParams, scratch: &mut DbscanScratch) {
+    let (ref_labels, ref_clusters) = reference_dbscan(pts, params);
+    let got = dbscan(pts, params);
+    assert_eq!(got.n_clusters(), ref_clusters, "cluster count diverged");
+    assert_eq!(got.labels(), &ref_labels[..], "labels diverged");
+    scratch.run(pts, params);
+    assert_eq!(scratch.n_clusters(), ref_clusters);
+    for (i, l) in ref_labels.iter().enumerate() {
+        assert_eq!(scratch.label(i), *l, "scratch label {i} diverged");
+    }
+    assert_eq!(
+        scratch.noise_count(),
+        ref_labels.iter().filter(|l| l.is_none()).count()
+    );
+}
+
+/// A seeded blob of `n` points scattered within `spread` of `center`.
+fn blob(rng: &mut StdRng, center: Vec2, n: usize, spread: f64) -> Vec<Vec2> {
+    (0..n)
+        .map(|_| {
+            center
+                + Vec2::new(
+                    rng.gen_range(-spread..spread),
+                    rng.gen_range(-spread..spread),
+                )
+        })
+        .collect()
+}
+
+#[test]
+fn dense_urban_cloud_matches_reference() {
+    // A compact grid of near-touching blobs: exercises the dense
+    // counting-sort layout, border points, and cross-cell chains.
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut pts = Vec::new();
+    for gx in 0..6 {
+        for gy in 0..6 {
+            let c = Vec2::new(gx as f64 * 3.0, gy as f64 * 3.0);
+            pts.extend(blob(&mut rng, c, 40, 1.1));
+        }
+    }
+    let mut scratch = DbscanScratch::new();
+    for (eps, min_points) in [(0.5, 4), (1.0, 3), (1.2, 4), (2.0, 6)] {
+        assert_matches_reference(&pts, DbscanParams::new(eps, min_points), &mut scratch);
+    }
+}
+
+#[test]
+fn sparse_scattered_cloud_matches_reference() {
+    // Few points over a huge area: forces the sorted-run (binary search)
+    // layout and produces mostly noise.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut pts: Vec<Vec2> = (0..300)
+        .map(|_| Vec2::new(rng.gen_range(-5e4..5e4), rng.gen_range(-5e4..5e4)))
+        .collect();
+    pts.extend(blob(&mut rng, Vec2::new(123.0, -456.0), 25, 0.8));
+    let mut scratch = DbscanScratch::new();
+    for (eps, min_points) in [(0.3, 2), (1.0, 3), (5.0, 2)] {
+        assert_matches_reference(&pts, DbscanParams::new(eps, min_points), &mut scratch);
+    }
+}
+
+#[test]
+fn negative_coordinate_cloud_matches_reference() {
+    // Blobs straddling the axes and cell boundaries in all four quadrants
+    // (floor-keying of negative coordinates is the classic off-by-one).
+    let mut rng = StdRng::seed_from_u64(1234);
+    let mut pts = Vec::new();
+    for c in [
+        Vec2::new(-40.0, -40.0),
+        Vec2::new(-0.5, 0.5),
+        Vec2::new(0.0, -30.0),
+        Vec2::new(35.0, 35.0),
+    ] {
+        pts.extend(blob(&mut rng, c, 30, 1.5));
+    }
+    // Points exactly on cell edges.
+    for k in -3..=3 {
+        pts.push(Vec2::new(k as f64, 0.0));
+        pts.push(Vec2::new(0.0, k as f64));
+    }
+    let mut scratch = DbscanScratch::new();
+    for (eps, min_points) in [(1.0, 3), (1.2, 4), (0.7, 2)] {
+        assert_matches_reference(&pts, DbscanParams::new(eps, min_points), &mut scratch);
+    }
+}
+
+#[test]
+fn scratch_reuse_across_disparate_frames_matches_reference() {
+    // One scratch over a stream of frames that flips between the dense and
+    // sparse layouts, grows, shrinks, and empties — stale buffer contents
+    // must never leak into the next frame's labels.
+    let mut rng = StdRng::seed_from_u64(99);
+    let dense = {
+        let mut p = blob(&mut rng, Vec2::ZERO, 200, 4.0);
+        p.extend(blob(&mut rng, Vec2::new(15.0, 0.0), 200, 4.0));
+        p
+    };
+    let sparse: Vec<Vec2> = (0..50)
+        .map(|_| Vec2::new(rng.gen_range(-1e6..1e6), rng.gen_range(-1e6..1e6)))
+        .collect();
+    let tiny = blob(&mut rng, Vec2::new(-3.0, 8.0), 6, 0.2);
+    let frames: Vec<&[Vec2]> = vec![&dense, &sparse, &[], &tiny, &dense];
+    let params = DbscanParams::new(1.2, 4);
+    let mut scratch = DbscanScratch::new();
+    for pts in frames {
+        assert_matches_reference(pts, params, &mut scratch);
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_clouds_match_reference(
+        pts in proptest::collection::vec((-60.0f64..60.0, -60.0f64..60.0), 0..250),
+        eps in 0.2f64..5.0,
+        minpts in 1usize..6,
+    ) {
+        let pts: Vec<Vec2> = pts.into_iter().map(|(x, y)| Vec2::new(x, y)).collect();
+        let params = DbscanParams::new(eps, minpts);
+        let (ref_labels, ref_clusters) = reference_dbscan(&pts, params);
+        let got = dbscan(&pts, params);
+        prop_assert_eq!(got.n_clusters(), ref_clusters);
+        prop_assert_eq!(got.labels(), &ref_labels[..]);
+    }
+}
+
+#[test]
+#[ignore = "manual timing comparison, run with --ignored --nocapture"]
+fn timing_vs_reference() {
+    use std::time::Instant;
+    let mut rng = StdRng::seed_from_u64(42);
+    // Car-like clusters: 24 blobs of 160 points in 4.5x1.8 m footprints.
+    let mut pts = Vec::new();
+    for k in 0..24 {
+        let c = Vec2::new((k % 6) as f64 * 12.0, (k / 6) as f64 * 9.0);
+        for _ in 0..160 {
+            pts.push(c + Vec2::new(rng.gen_range(-2.25..2.25), rng.gen_range(-0.9..0.9)));
+        }
+    }
+    let params = DbscanParams::new(1.0, 4);
+    let mut scratch = DbscanScratch::new();
+    scratch.run(&pts, params);
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..20 { reference_dbscan(&pts, params); }
+        let ref_ms = t.elapsed().as_secs_f64() * 50.0;
+        let t = Instant::now();
+        for _ in 0..20 { scratch.run(&pts, params); }
+        let new_ms = t.elapsed().as_secs_f64() * 50.0;
+        println!("n={} reference {ref_ms:.3} ms  csr-scratch {new_ms:.3} ms  speedup {:.2}x", pts.len(), ref_ms / new_ms);
+    }
+}

@@ -25,6 +25,9 @@ cargo build --release --offline
 echo "==> cargo test -q --offline"
 cargo test -q --offline
 
+echo "==> cargo build --release --offline --benches --workspace"
+cargo build --release --offline --benches --workspace
+
 echo "==> cargo build --release --offline --no-default-features"
 cargo build --release --offline --no-default-features
 

@@ -36,6 +36,13 @@ pub enum Error {
         /// What the field must satisfy.
         reason: &'static str,
     },
+    /// A wire frame could not be encoded or decoded: truncated buffer,
+    /// wrong magic/version, corrupt payload. Malformed input is expected
+    /// on a real channel, so decoders report this instead of panicking.
+    Codec {
+        /// What the codec rejected.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
@@ -52,6 +59,7 @@ impl fmt::Display for Error {
             Error::InvalidConfig { field, reason } => {
                 write!(f, "invalid configuration: {field} {reason}")
             }
+            Error::Codec { reason } => write!(f, "wire codec error: {reason}"),
         }
     }
 }
@@ -76,6 +84,10 @@ mod tests {
             reason: "must be within [0, 1]",
         };
         assert!(c.to_string().contains("loss_prob"));
+        let w = Error::Codec {
+            reason: "upload frame shorter than its header",
+        };
+        assert!(w.to_string().contains("header"));
     }
 
     #[test]

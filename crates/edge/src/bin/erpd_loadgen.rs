@@ -1,0 +1,96 @@
+//! `erpd-loadgen` — replay synthetic vehicle clients against an edge
+//! daemon and emit the capacity artifact.
+//!
+//! ```text
+//! erpd-loadgen [--clients 8,16,32,64,128] [--frames 50] [--vehicles 12]
+//!              [--out BENCH_capacity.json] [--addr HOST:PORT]
+//! ```
+//!
+//! Without `--addr` each client count gets a fresh in-process daemon on an
+//! ephemeral port (the sweep mode that produces `BENCH_capacity.json`).
+//! With `--addr` the first client count is replayed against an external
+//! `erpd-daemon` instead.
+
+use erpd_edge::capacity::{
+    build_corpus, capacity_json, measure_against, measure_point, LoadgenConfig,
+};
+use erpd_edge::SystemConfig;
+use erpd_sim::ScenarioConfig;
+
+fn main() {
+    let mut counts: Vec<usize> = vec![8, 16, 32, 64, 128];
+    let mut frames: u64 = 50;
+    let mut vehicles: usize = 12;
+    let mut out = "BENCH_capacity.json".to_string();
+    let mut addr: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match a.as_str() {
+            "--clients" => {
+                counts = value("--clients")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--clients wants integers"))
+                    .collect()
+            }
+            "--frames" => frames = value("--frames").parse().expect("--frames wants an integer"),
+            "--vehicles" => {
+                vehicles = value("--vehicles").parse().expect("--vehicles wants an integer")
+            }
+            "--out" => out = value("--out"),
+            "--addr" => addr = Some(value("--addr")),
+            "--help" | "-h" => {
+                println!(
+                    "erpd-loadgen [--clients N,N,...] [--frames N] [--vehicles N] \
+                     [--out FILE] [--addr HOST:PORT]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let base = LoadgenConfig {
+        scenario: ScenarioConfig {
+            n_vehicles: vehicles,
+            ..ScenarioConfig::default()
+        },
+        system: SystemConfig::default(),
+        clients: counts[0],
+        frames,
+    };
+    eprintln!(
+        "erpd-loadgen: building corpus ({} source vehicles, {} frames)",
+        vehicles, frames
+    );
+    let corpus = build_corpus(base.scenario, &base.system, frames);
+    eprintln!("erpd-loadgen: corpus has {} frames", corpus.frames.len());
+
+    let mut points = Vec::new();
+    match addr {
+        Some(a) => {
+            let target = a.parse().expect("--addr wants HOST:PORT");
+            let p = measure_against(&base, &corpus, target).expect("loadgen run failed");
+            points.push(p);
+        }
+        None => {
+            for &clients in &counts {
+                let cfg = LoadgenConfig { clients, ..base.clone() };
+                let p = measure_point(&cfg, &corpus).expect("loadgen run failed");
+                eprintln!(
+                    "erpd-loadgen: {:>4} clients  p50 {:>7.2} ms  p95 {:>7.2} ms  delivery {:.3}",
+                    p.clients, p.p50_ms, p.p95_ms, p.delivery_ratio
+                );
+                points.push(p);
+            }
+        }
+    }
+
+    let json = capacity_json(&points, base.system.network.frame_period);
+    std::fs::write(&out, &json).expect("cannot write the capacity artifact");
+    println!("{json}");
+    eprintln!("erpd-loadgen: wrote {out}");
+}

@@ -1,0 +1,460 @@
+//! The streaming edge daemon: a TCP server driving the exact
+//! [`ServingCore`] the in-process [`crate::System`] runs.
+//!
+//! # Threading model
+//!
+//! * **accept** — one thread on a non-blocking [`std::net::TcpListener`],
+//!   spawning a reader per connection.
+//! * **readers** — one thread per connection, decoding wire frames off the
+//!   socket with short read timeouts (a partial frame survives a timeout —
+//!   the [`crate::TcpTransport`] buffer keeps sync). A decoded upload
+//!   lands in the shared pending map; `Hello` registers the vehicle for
+//!   plan delivery; `Bye` or EOF retires the connection.
+//! * **serve** — one thread closing frames. A frame closes at its
+//!   deadline (the network model's `frame_period`) or early once every
+//!   registered vehicle has submitted (the common case under light load —
+//!   this is what keeps p95 latency far below the frame period). The
+//!   pending uploads run through the serving core and the resulting plan
+//!   is broadcast to every connection, tagged with acks naming each
+//!   `(vehicle, client_frame)` the served frame consumed.
+//!
+//! # Backpressure and deadlines
+//!
+//! The pending map is **latest-wins per vehicle**: a client that uploads
+//! faster than the daemon serves overwrites its own stale entry instead of
+//! growing a queue — perception data is only useful fresh, so the natural
+//! backpressure policy is to drop the superseded frame. Vehicles that miss
+//! a deadline are simply absent from that frame (the serving core's
+//! coasting covers them) and their upload rides the next one.
+//!
+//! Simulation time advances `frame_period` per served frame
+//! (`now = frame * frame_period`), matching the in-process `System`'s
+//! clock, so a daemon fed a scenario's uploads reproduces the in-process
+//! pipeline's results.
+
+use crate::system::default_dissemination;
+use crate::transport::{ServingCore, TcpTransport};
+use crate::wire::{write_message, WireMessage};
+use crate::{PipelineBuilder, SystemConfig, Upload};
+use erpd_sim::IntersectionMap;
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How the daemon serves: strategy, network model (frame period and
+/// downlink budget), server parameters, and the frame-close policy.
+#[derive(Debug, Clone, Copy)]
+pub struct DaemonConfig {
+    /// Strategy, network model and server parameters — the same
+    /// configuration an in-process [`crate::System`] takes.
+    pub system: SystemConfig,
+    /// Close a frame as soon as every registered vehicle has submitted,
+    /// instead of always waiting out the full frame period. On by
+    /// default; turn off to measure pure deadline-driven serving.
+    pub early_close: bool,
+    /// With `early_close`, once the *first* upload of a frame has
+    /// arrived, close the frame after this fraction of the frame period
+    /// even if some vehicles have not submitted — a straggler's upload
+    /// simply rides the next frame (latest-wins keeps it pending). This
+    /// bounds the punctual majority's latency by the grace window instead
+    /// of the slowest vehicle's scheduling jitter. `0.2` by default;
+    /// clamped to `[0, 1]`.
+    pub close_grace: f64,
+}
+
+impl DaemonConfig {
+    /// The default serving configuration for a strategy.
+    pub fn new(system: SystemConfig) -> Self {
+        DaemonConfig {
+            system,
+            early_close: true,
+            close_grace: 0.2,
+        }
+    }
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig::new(SystemConfig::default())
+    }
+}
+
+/// One registered connection: the vehicle it speaks for and the write
+/// half the serve thread broadcasts plans to.
+#[derive(Debug)]
+struct Conn {
+    conn_id: u64,
+    vehicle: u64,
+    writer: Arc<Mutex<TcpStream>>,
+}
+
+/// State shared by the accept, reader, and serve threads.
+#[derive(Debug, Default)]
+struct Ingest {
+    /// Latest-wins upload per vehicle: `vehicle → (client frame, upload)`.
+    /// A `BTreeMap` so the serve thread processes uploads in vehicle order
+    /// — deterministic regardless of socket arrival interleaving.
+    pending: BTreeMap<u64, (u64, Upload)>,
+    /// Connections that completed the `Hello` handshake.
+    conns: Vec<Conn>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    ingest: Mutex<Ingest>,
+    /// Signalled on every upload arrival and on shutdown.
+    arrivals: Condvar,
+    shutdown: AtomicBool,
+    frames_served: AtomicU64,
+    next_conn_id: AtomicU64,
+    /// Reader threads park their handles here for the shutdown join.
+    readers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The streaming edge daemon. Construct with [`EdgeDaemon::spawn`]; the
+/// returned [`ServerHandle`] owns the listening socket's lifetime.
+#[derive(Debug)]
+pub struct EdgeDaemon;
+
+impl EdgeDaemon {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the accept and serve threads. The daemon serves the same
+    /// stage graph `System::new(config.system, world)` would run against
+    /// `map`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn spawn<A: ToSocketAddrs>(
+        config: DaemonConfig,
+        map: IntersectionMap,
+        addr: A,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            ingest: Mutex::new(Ingest::default()),
+            arrivals: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            frames_served: AtomicU64::new(0),
+            next_conn_id: AtomicU64::new(0),
+            readers: Mutex::new(Vec::new()),
+        });
+        let (server, disseminate) = PipelineBuilder::new(config.system.server, map)
+            .build_with_default(|| default_dissemination(config.system.strategy));
+        let core = ServingCore::new(server, disseminate);
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || accept_loop(listener, accept_shared));
+        let serve_shared = Arc::clone(&shared);
+        let serve = std::thread::spawn(move || serve_loop(config, core, serve_shared));
+
+        Ok(ServerHandle {
+            addr: local,
+            shared,
+            threads: vec![accept, serve],
+        })
+    }
+}
+
+/// Owns a running daemon: its address, counters, and shutdown. Dropping
+/// the handle shuts the daemon down and joins every thread.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Frames the serve loop has closed and broadcast so far.
+    pub fn frames_served(&self) -> u64 {
+        self.shared.frames_served.load(Ordering::Relaxed)
+    }
+
+    /// Vehicles currently registered (completed the `Hello` handshake).
+    pub fn connected_vehicles(&self) -> usize {
+        self.shared.ingest.lock().expect("daemon lock poisoned").conns.len()
+    }
+
+    /// Stops the daemon and joins every thread. Idempotent; also runs on
+    /// drop.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.arrivals.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        let readers = std::mem::take(
+            &mut *self.shared.readers.lock().expect("daemon lock poisoned"),
+        );
+        for t in readers {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Accepts connections until shutdown, spawning a reader per connection.
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let reader_shared = Arc::clone(&shared);
+                let handle = std::thread::spawn(move || reader_loop(stream, reader_shared));
+                shared
+                    .readers
+                    .lock()
+                    .expect("daemon lock poisoned")
+                    .push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Reads wire frames off one connection until `Bye`, EOF, shutdown, or a
+/// protocol error; registers the vehicle on `Hello` and retires the
+/// connection on exit.
+fn reader_loop(stream: TcpStream, shared: Arc<Shared>) {
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut transport = TcpTransport::from_stream(stream);
+    let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+    let mut registered = false;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match transport.recv_message(Duration::from_millis(50)) {
+            Ok(Some(WireMessage::Hello { vehicle_id })) => {
+                let mut ingest = shared.ingest.lock().expect("daemon lock poisoned");
+                ingest.conns.push(Conn {
+                    conn_id,
+                    vehicle: vehicle_id,
+                    writer: Arc::clone(&writer),
+                });
+                registered = true;
+            }
+            Ok(Some(WireMessage::Upload { frame, upload })) => {
+                let mut ingest = shared.ingest.lock().expect("daemon lock poisoned");
+                // Latest wins: a superseded pending upload is dropped, not
+                // queued — that is the backpressure policy.
+                ingest.pending.insert(upload.vehicle_id, (frame, upload));
+                drop(ingest);
+                shared.arrivals.notify_all();
+            }
+            // A client has no business sending plans; ignore rather than
+            // kill the connection.
+            Ok(Some(WireMessage::Plan { .. })) => {}
+            Ok(Some(WireMessage::Bye)) | Ok(None) => break,
+            Err(e)
+                if e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::WouldBlock => {}
+            Err(_) => break,
+        }
+    }
+    if registered {
+        let mut ingest = shared.ingest.lock().expect("daemon lock poisoned");
+        ingest.conns.retain(|c| c.conn_id != conn_id);
+    }
+}
+
+/// Closes frames at the deadline (or early once everyone submitted),
+/// serves them through the core, and broadcasts the plan.
+fn serve_loop(config: DaemonConfig, mut core: ServingCore, shared: Arc<Shared>) {
+    let period = Duration::from_secs_f64(config.system.network.frame_period);
+    let grace = period.mul_f64(config.close_grace.clamp(0.0, 1.0));
+    let budget = config.system.network.downlink_budget_bytes();
+    let debug = std::env::var_os("ERPD_DAEMON_DEBUG").is_some();
+    let mut frame: u64 = 0;
+    'frames: loop {
+        let deadline = Instant::now() + period;
+        // Set once the first upload of this frame arrives; the frame
+        // closes `grace` later even if stragglers are still missing.
+        let mut grace_deadline: Option<Instant> = None;
+        let mut ingest = shared.ingest.lock().expect("daemon lock poisoned");
+        // Wait for the frame to fill, the grace window to lapse, or the
+        // deadline to pass.
+        let close_reason = loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let everyone_in = config.early_close
+                && !ingest.conns.is_empty()
+                && ingest.conns.iter().all(|c| ingest.pending.contains_key(&c.vehicle));
+            if everyone_in {
+                break "all-in";
+            }
+            let now = Instant::now();
+            if config.early_close && grace_deadline.is_none() && !ingest.pending.is_empty() {
+                grace_deadline = Some(now + grace);
+            }
+            let close_at = grace_deadline.map_or(deadline, |g| g.min(deadline));
+            if now >= close_at {
+                break if close_at < deadline { "grace" } else { "deadline" };
+            }
+            let (guard, _) = shared
+                .arrivals
+                .wait_timeout(ingest, close_at - now)
+                .expect("daemon lock poisoned");
+            ingest = guard;
+        };
+        let pending = std::mem::take(&mut ingest.pending);
+        let writers: Vec<(u64, Arc<Mutex<TcpStream>>)> = ingest
+            .conns
+            .iter()
+            .map(|c| (c.conn_id, Arc::clone(&c.writer)))
+            .collect();
+        if debug {
+            eprintln!(
+                "frame {frame}: close {close_reason} pending={} conns={}",
+                pending.len(),
+                ingest.conns.len()
+            );
+        }
+        drop(ingest);
+        if pending.is_empty() {
+            // Nothing arrived this period (e.g. no clients yet): don't
+            // burn simulation time on empty frames.
+            continue 'frames;
+        }
+
+        // BTreeMap order: uploads reach the core sorted by vehicle id, so
+        // the served frame is independent of socket interleaving.
+        let acks: Vec<(u64, u64)> = pending.iter().map(|(&v, &(cf, _))| (v, cf)).collect();
+        let uploads: Vec<Upload> = pending.into_values().map(|(_, u)| u).collect();
+        let now_sim = frame as f64 * config.system.network.frame_period;
+        let plan = match core.serve(now_sim, &uploads, budget) {
+            Ok((_, planned)) => planned.artifact,
+            // A degenerate frame (non-finite relevance from corrupt input)
+            // is dropped; the daemon keeps serving.
+            Err(_) => continue 'frames,
+        };
+
+        let msg = WireMessage::Plan { frame, acks, plan };
+        let mut dead: Vec<u64> = Vec::new();
+        for (conn_id, writer) in &writers {
+            let mut w = writer.lock().expect("daemon lock poisoned");
+            if write_message(&mut *w, &msg).is_err() {
+                dead.push(*conn_id);
+            }
+        }
+        if !dead.is_empty() {
+            let mut ingest = shared.ingest.lock().expect("daemon lock poisoned");
+            ingest.conns.retain(|c| !dead.contains(&c.conn_id));
+        }
+        frame += 1;
+        shared.frames_served.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::WireMessage;
+    use erpd_geometry::{Pose2, Vec2};
+
+    fn upload(vehicle: u64) -> Upload {
+        Upload {
+            vehicle_id: vehicle,
+            pose: Pose2::new(Vec2::new(1.0, 2.0), 0.0),
+            objects: Vec::new(),
+            bytes: 64,
+            processing_time: 0.0,
+            clustered_points: 0,
+        }
+    }
+
+    #[test]
+    fn daemon_serves_uploads_and_acks_them() {
+        let mut handle = EdgeDaemon::spawn(
+            DaemonConfig::default(),
+            IntersectionMap::default(),
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let mut client = TcpTransport::connect(handle.addr()).unwrap();
+        client
+            .send_message(&WireMessage::Hello { vehicle_id: 7 })
+            .unwrap();
+        client
+            .send_message(&WireMessage::Upload { frame: 3, upload: upload(7) })
+            .unwrap();
+        let msg = client
+            .recv_message(Duration::from_secs(5))
+            .unwrap()
+            .expect("plan broadcast");
+        match msg {
+            WireMessage::Plan { acks, .. } => assert_eq!(acks, vec![(7, 3)]),
+            other => panic!("expected a plan, got {other:?}"),
+        }
+        assert_eq!(handle.frames_served(), 1);
+        client.send_message(&WireMessage::Bye).unwrap();
+        handle.shutdown();
+    }
+
+    #[test]
+    fn latest_upload_wins_per_vehicle() {
+        let mut handle = EdgeDaemon::spawn(
+            DaemonConfig { early_close: false, ..DaemonConfig::default() },
+            IntersectionMap::default(),
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let mut client = TcpTransport::connect(handle.addr()).unwrap();
+        client
+            .send_message(&WireMessage::Hello { vehicle_id: 9 })
+            .unwrap();
+        // Two uploads inside one frame period: the second supersedes.
+        client
+            .send_message(&WireMessage::Upload { frame: 0, upload: upload(9) })
+            .unwrap();
+        client
+            .send_message(&WireMessage::Upload { frame: 1, upload: upload(9) })
+            .unwrap();
+        let msg = client
+            .recv_message(Duration::from_secs(5))
+            .unwrap()
+            .expect("plan broadcast");
+        match msg {
+            WireMessage::Plan { acks, .. } => assert_eq!(acks, vec![(9, 1)]),
+            other => panic!("expected a plan, got {other:?}"),
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let mut handle = EdgeDaemon::spawn(
+            DaemonConfig::default(),
+            IntersectionMap::default(),
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        assert_eq!(handle.connected_vehicles(), 0);
+        handle.shutdown();
+        handle.shutdown();
+        drop(handle); // Drop after explicit shutdown must not hang.
+    }
+}

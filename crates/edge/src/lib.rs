@@ -15,7 +15,13 @@
 //!   gracefully,
 //! * [`run`] / [`run_seeds`] — scenario runners aggregating the paper's
 //!   evaluation metrics (safe passage, min distance, bandwidths, latency,
-//!   delivery ratio, staleness).
+//!   delivery ratio, staleness),
+//! * [`WireMessage`] / [`Transport`] — the versioned binary wire protocol
+//!   and the carrier seam between vehicles and the serving core (loopback,
+//!   in-process codec round-trip, or real TCP),
+//! * [`EdgeDaemon`] / [`capacity`] — the streaming TCP daemon serving the
+//!   same [`ServingCore`] the in-process [`System`] runs, and the load
+//!   generator that measures how many vehicle clients one daemon sustains.
 //!
 //! # Examples
 //!
@@ -34,6 +40,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod capacity;
+mod daemon;
 mod fault;
 mod metrics;
 mod network;
@@ -42,8 +50,11 @@ mod pipeline;
 mod server;
 mod stages;
 mod system;
+mod transport;
 mod upload;
+pub mod wire;
 
+pub use daemon::{DaemonConfig, EdgeDaemon, ServerHandle};
 pub use erpd_core::Error;
 pub use fault::FaultModel;
 pub use pipeline::{
@@ -59,6 +70,8 @@ pub use stages::{
 pub use network::NetworkConfig;
 pub use server::{DetectionSummary, EdgeServer, ServerConfig, ServerFrame, TRACK_ID_BASE};
 pub use system::{FrameReport, ModuleTimes, System, SystemConfig, V2V_CHANNEL_BPS, V2V_RANGE_M};
+pub use transport::{LoopbackTransport, ServingCore, TcpTransport, Transport, WireTransport};
+pub use wire::{truncate_on_wire, WireMessage, MAX_PAYLOAD_BYTES, WIRE_MAGIC, WIRE_VERSION};
 pub use upload::{
     object_bytes, Strategy, Upload, UploadedObject, VehicleSide, EMP_CLUTTER_FRACTION,
     EXTRACTION_TIME_SCALE, MIN_DETECTABLE_POINTS,

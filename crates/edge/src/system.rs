@@ -3,10 +3,11 @@
 
 use crate::fault::FaultStream;
 use crate::pipeline::{
-    BoxedDisseminationStage, BroadcastDissemination, FrameCx, GreedyDissemination,
-    PipelineBuilder, PlanRequest, RoundRobinDissemination,
+    BoxedDisseminationStage, BroadcastDissemination, GreedyDissemination, PipelineBuilder,
+    RoundRobinDissemination,
 };
 use crate::stages::{StageSample, StageTimes};
+use crate::transport::{LoopbackTransport, ServingCore, Transport};
 use crate::{EdgeServer, NetworkConfig, ServerConfig, ServerFrame, Strategy, Upload, VehicleSide};
 use erpd_core::Error;
 use erpd_geometry::Vec2;
@@ -48,7 +49,7 @@ impl Dispatch {
 
 /// The dissemination stage a strategy runs by default: the relevance-greedy
 /// knapsack for `Ours`, round robin for `Emp`, broadcast for `Unlimited`.
-fn default_dissemination(strategy: Strategy) -> BoxedDisseminationStage {
+pub(crate) fn default_dissemination(strategy: Strategy) -> BoxedDisseminationStage {
     match strategy {
         Strategy::Emp => Box::new(RoundRobinDissemination::new()),
         Strategy::Unlimited => Box::new(BroadcastDissemination),
@@ -168,13 +169,18 @@ struct LinkPlan {
     truncated: usize,
 }
 
-/// Clips a truncated upload to its surviving fraction: the tail of the
-/// object list is lost in transit, and the byte count shrinks to match.
-fn truncate_upload(mut u: Upload, keep: f64) -> Upload {
-    let n = (u.objects.len() as f64 * keep).floor() as usize;
-    u.objects.truncate(n);
-    u.bytes = (u.bytes as f64 * keep).ceil() as u64;
-    u
+/// Clips a truncated upload at the wire level: the encoded v1 frame loses
+/// its tail in transit and the decoder salvages the complete leading
+/// objects ([`crate::wire::truncate_on_wire`]) — so every truncation fault
+/// exercises the real codec's corruption handling, not an in-process
+/// shortcut. Returns `None` when the cut lands inside the fixed header
+/// fields and nothing is recoverable.
+fn truncate_upload(u: &Upload, keep: f64) -> Option<Upload> {
+    let mut t = crate::wire::truncate_on_wire(u, keep)?;
+    // Byte accounting stays with the channel model: the delivery costs the
+    // keep fraction of what was put on the air, not the re-encoded size.
+    t.bytes = (u.bytes as f64 * keep).ceil() as u64;
+    Some(t)
 }
 
 /// System-level configuration.
@@ -240,9 +246,15 @@ pub struct System {
     config: SystemConfig,
     dispatch: Dispatch,
     vehicle_sides: BTreeMap<u64, VehicleSide>,
-    server: EdgeServer,
-    /// The last hop of the stage graph: builds the downlink schedule.
-    disseminate: BoxedDisseminationStage,
+    /// The serving half of the edge path: the five-stage server plus the
+    /// swappable dissemination stage — the same [`ServingCore`] the
+    /// streaming daemon drives over TCP.
+    core: ServingCore,
+    /// The carrier between the fault layer's arrivals and the serving
+    /// core. Loopback (identity) by default; swap in a
+    /// [`crate::WireTransport`] to round-trip every frame through the v1
+    /// codec, or a [`crate::TcpTransport`] to serve remotely.
+    transport: Box<dyn Transport>,
     /// Receiver-local fusion state for the V2V strategy (one "server" per
     /// vehicle, running on board).
     v2v_servers: BTreeMap<u64, EdgeServer>,
@@ -281,8 +293,8 @@ impl System {
             config,
             dispatch: Dispatch::of(config.strategy),
             vehicle_sides: BTreeMap::new(),
-            server,
-            disseminate,
+            core: ServingCore::new(server, disseminate),
+            transport: Box::new(LoopbackTransport::new()),
             v2v_servers: BTreeMap::new(),
             rr_offset: 0,
             last_server_frame: ServerFrame::default(),
@@ -290,6 +302,21 @@ impl System {
             outages: BTreeSet::new(),
             deferred: Vec::new(),
         }
+    }
+
+    /// Replaces the transport the edge path routes uploads and plans
+    /// through. The default [`LoopbackTransport`] passes values untouched
+    /// (bit-identical to calling the serving core directly); a
+    /// [`crate::WireTransport`] round-trips every message through the v1
+    /// wire codec in process.
+    pub fn with_transport(mut self, transport: Box<dyn Transport>) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// The active transport's diagnostic name ("loopback", "wire", "tcp").
+    pub fn transport_name(&self) -> &'static str {
+        self.transport.name()
     }
 
     /// The configured strategy.
@@ -465,7 +492,9 @@ impl System {
         for (u, outcome) in uploads.into_iter().zip(&plan.outcomes) {
             match outcome {
                 LinkOutcome::Deliver => arrivals.push(u),
-                LinkOutcome::Truncate => arrivals.push(truncate_upload(u, keep)),
+                // A truncation that clips into the frame header destroys
+                // the upload entirely — it never becomes an arrival.
+                LinkOutcome::Truncate => arrivals.extend(truncate_upload(&u, keep)),
                 LinkOutcome::Late => self.deferred.push(u),
                 LinkOutcome::Lost => {}
             }
@@ -473,25 +502,30 @@ impl System {
         let expected_uploads = plan.outcomes.len();
         let delivered_uploads = arrivals.len();
 
-        // --- Server side: the five-stage graph. ---
-        let now = world.time();
-        let sf = self.server.process(now, &arrivals)?;
+        // --- Transport: arrivals travel to the serving core over the
+        // configured carrier (loopback by default — identity) and the
+        // frame's plan comes back the same way.
+        let tag = self.frame_index;
+        for u in arrivals {
+            self.transport.send_upload(tag, u)?;
+        }
+        let arrivals = self.transport.recv_uploads()?;
 
-        // --- Dissemination decision: the graph's last (swappable) stage. ---
+        // --- Server side: the five-stage graph, then the graph's last
+        // (swappable) stage — the dissemination decision.
+        let now = world.time();
         let budget = network.downlink_budget_bytes();
-        let cx = FrameCx {
-            now,
-            uploads: &arrivals,
-        };
-        let planned = self.disseminate.run(
-            &cx,
-            PlanRequest {
-                frame: &sf,
-                budget,
-            },
-        )?;
+        let (sf, planned) = self.core.serve(now, &arrivals, budget)?;
         let dissemination = planned.sample.seconds;
-        let dplan = planned.artifact;
+        let knapsack_sample = planned.sample;
+        self.transport.send_plan(tag, planned.artifact)?;
+        let (_, dplan) = self
+            .transport
+            .recv_plans()?
+            .pop()
+            .ok_or(Error::Codec {
+                reason: "transport delivered no dissemination plan",
+            })?;
         let downlink_tx = if dplan.total_bytes > 0 {
             network.downlink_time(dplan.total_bytes.min(budget))
         } else {
@@ -522,7 +556,7 @@ impl System {
         // pair it ranked).
         let mut stages = sf.stages;
         stages.extraction = extraction_stage;
-        stages.knapsack = planned.sample;
+        stages.knapsack = knapsack_sample;
 
         let report = FrameReport {
             upload_bytes: plan.upload_bytes,
@@ -577,7 +611,7 @@ impl System {
             .zip(&plan.outcomes)
             .filter_map(|(u, o)| match o {
                 LinkOutcome::Deliver => Some(u.clone()),
-                LinkOutcome::Truncate => Some(truncate_upload(u.clone(), keep)),
+                LinkOutcome::Truncate => truncate_upload(u, keep),
                 LinkOutcome::Late | LinkOutcome::Lost => None,
             })
             .collect();

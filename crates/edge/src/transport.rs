@@ -1,0 +1,466 @@
+//! The transport seam between the vehicle fleet and the edge serving
+//! core.
+//!
+//! A [`Transport`] carries uploads from the vehicle side to the server
+//! and the frame's dissemination plan back. The abstraction exists so the
+//! exact serving code has interchangeable carriers:
+//!
+//! * [`LoopbackTransport`] — in-process queues, values pass through
+//!   untouched. The default inside [`crate::System`]; bit-identical to
+//!   calling the serving core directly (pinned by the stage-graph
+//!   fingerprint tests).
+//! * [`WireTransport`] — in-process queues of **encoded wire frames**:
+//!   every message round-trips the exact v1 codec the TCP path puts on a
+//!   socket, so the whole test/bench suite can exercise the daemon's
+//!   byte path without opening one.
+//! * [`TcpTransport`] — one endpoint of a real TCP link, speaking the
+//!   same frames to a remote peer (an [`crate::EdgeDaemon`] or a client).
+//!
+//! [`ServingCore`] is the code every carrier feeds: the composed edge
+//! stage graph plus the swappable dissemination stage. `System` routes
+//! through it in-process; the daemon serves it over TCP.
+
+use crate::pipeline::{BoxedDisseminationStage, FrameCx, PlanRequest};
+use crate::wire::{write_message, WireMessage};
+use crate::{EdgeServer, ServerFrame, Staged, Upload};
+use erpd_core::{DisseminationPlan, Error};
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Read};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Carries uploads from the vehicle side to the edge server and
+/// dissemination plans back.
+///
+/// A transport is a *pair of directed channels*, not a server: the
+/// in-process impls hold both ends (send on one side, receive on the
+/// other, same process), while [`TcpTransport`] is one end of a socket —
+/// a client calls `send_upload`/`recv_plans`, the daemon's connection
+/// handler calls `recv_uploads`/`send_plan`.
+pub trait Transport: fmt::Debug + Send {
+    /// Diagnostic name ("loopback", "wire", "tcp").
+    fn name(&self) -> &'static str;
+
+    /// Queues one upload on the vehicle→server direction. `frame` is the
+    /// sender's frame counter, echoed back in plan acks.
+    fn send_upload(&mut self, frame: u64, upload: Upload) -> Result<(), Error>;
+
+    /// Drains every upload currently arrived on the server side, in
+    /// arrival order.
+    fn recv_uploads(&mut self) -> Result<Vec<Upload>, Error>;
+
+    /// Queues the frame's plan on the server→vehicles direction.
+    fn send_plan(&mut self, frame: u64, plan: DisseminationPlan) -> Result<(), Error>;
+
+    /// Drains every plan currently arrived on the vehicle side, oldest
+    /// first, tagged with the server frame it belongs to.
+    fn recv_plans(&mut self) -> Result<Vec<(u64, DisseminationPlan)>, Error>;
+}
+
+/// In-process identity transport: both directions are plain queues and
+/// every value passes through untouched — the server sees the exact
+/// uploads the vehicles produced, bit for bit.
+#[derive(Debug, Default)]
+pub struct LoopbackTransport {
+    uploads: VecDeque<Upload>,
+    plans: VecDeque<(u64, DisseminationPlan)>,
+}
+
+impl LoopbackTransport {
+    /// A fresh loopback with empty queues.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn name(&self) -> &'static str {
+        "loopback"
+    }
+
+    fn send_upload(&mut self, _frame: u64, upload: Upload) -> Result<(), Error> {
+        self.uploads.push_back(upload);
+        Ok(())
+    }
+
+    fn recv_uploads(&mut self) -> Result<Vec<Upload>, Error> {
+        Ok(self.uploads.drain(..).collect())
+    }
+
+    fn send_plan(&mut self, frame: u64, plan: DisseminationPlan) -> Result<(), Error> {
+        self.plans.push_back((frame, plan));
+        Ok(())
+    }
+
+    fn recv_plans(&mut self) -> Result<Vec<(u64, DisseminationPlan)>, Error> {
+        Ok(self.plans.drain(..).collect())
+    }
+}
+
+/// In-process transport that round-trips every message through the v1
+/// wire codec: `send_*` encodes a complete wire frame, `recv_*` decodes
+/// it — the same bytes [`TcpTransport`] would put on a socket, without
+/// the socket. Decoded uploads therefore carry the point-cloud codec's
+/// quantisation, exactly like uploads served by the daemon.
+#[derive(Debug, Default)]
+pub struct WireTransport {
+    uploads: VecDeque<Vec<u8>>,
+    plans: VecDeque<Vec<u8>>,
+}
+
+impl WireTransport {
+    /// A fresh wire transport with empty queues.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Transport for WireTransport {
+    fn name(&self) -> &'static str {
+        "wire"
+    }
+
+    fn send_upload(&mut self, frame: u64, upload: Upload) -> Result<(), Error> {
+        self.uploads
+            .push_back(WireMessage::Upload { frame, upload }.encode());
+        Ok(())
+    }
+
+    fn recv_uploads(&mut self) -> Result<Vec<Upload>, Error> {
+        let mut out = Vec::with_capacity(self.uploads.len());
+        for bytes in self.uploads.drain(..) {
+            match WireMessage::decode(&bytes)?.0 {
+                WireMessage::Upload { upload, .. } => out.push(upload),
+                _ => {
+                    return Err(Error::Codec {
+                        reason: "upload queue held a non-upload frame",
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn send_plan(&mut self, frame: u64, plan: DisseminationPlan) -> Result<(), Error> {
+        self.plans.push_back(
+            WireMessage::Plan {
+                frame,
+                acks: Vec::new(),
+                plan,
+            }
+            .encode(),
+        );
+        Ok(())
+    }
+
+    fn recv_plans(&mut self) -> Result<Vec<(u64, DisseminationPlan)>, Error> {
+        let mut out = Vec::with_capacity(self.plans.len());
+        for bytes in self.plans.drain(..) {
+            match WireMessage::decode(&bytes)?.0 {
+                WireMessage::Plan { frame, plan, .. } => out.push((frame, plan)),
+                _ => {
+                    return Err(Error::Codec {
+                        reason: "plan queue held a non-plan frame",
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn io_to_codec(_: io::Error) -> Error {
+    Error::Codec {
+        reason: "tcp transport i/o failure",
+    }
+}
+
+/// One endpoint of a TCP link speaking the v1 wire protocol.
+///
+/// Reads are buffered: partial frames survive read timeouts without
+/// losing sync, and [`recv_message`](Self::recv_message) only yields
+/// complete, validated messages. Messages of the "wrong" kind for a
+/// `recv_uploads`/`recv_plans` call are kept in an inbox rather than
+/// dropped, so a mixed stream loses nothing.
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    inbox: VecDeque<WireMessage>,
+}
+
+impl TcpTransport {
+    /// Connects to a daemon (or any wire-protocol peer).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        Ok(Self::from_stream(TcpStream::connect(addr)?))
+    }
+
+    /// Wraps an accepted connection.
+    pub fn from_stream(stream: TcpStream) -> Self {
+        TcpTransport {
+            stream,
+            buf: Vec::new(),
+            inbox: VecDeque::new(),
+        }
+    }
+
+    /// The underlying stream (e.g. to `try_clone` a write half).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Decodes as many complete frames as the buffer holds into the inbox.
+    fn drain_buffer(&mut self) -> io::Result<()> {
+        loop {
+            match WireMessage::decode_frame(&self.buf) {
+                Ok(Some((msg, used))) => {
+                    self.buf.drain(..used);
+                    self.inbox.push_back(msg);
+                }
+                Ok(None) => return Ok(()),
+                Err(e) => {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+                }
+            }
+        }
+    }
+
+    /// Pulls whatever bytes are available without blocking.
+    fn fill_nonblocking(&mut self) -> io::Result<()> {
+        self.stream.set_nonblocking(true)?;
+        let mut chunk = [0u8; 16 * 1024];
+        let res = loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => break Ok(()),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => break Err(e),
+            }
+        };
+        self.stream.set_nonblocking(false)?;
+        res?;
+        self.drain_buffer()
+    }
+
+    /// Receives the next message, blocking up to `timeout`.
+    ///
+    /// Returns `Ok(None)` on a clean end-of-stream. A timeout surfaces as
+    /// `Err` of kind `WouldBlock`/`TimedOut`; any partially read frame
+    /// stays buffered, so the next call resumes where this one stopped.
+    pub fn recv_message(&mut self, timeout: Duration) -> io::Result<Option<WireMessage>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(msg) = self.inbox.pop_front() {
+                return Ok(Some(msg));
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(io::Error::new(io::ErrorKind::TimedOut, "recv_message timed out"));
+            }
+            self.stream.set_read_timeout(Some(remaining))?;
+            let mut chunk = [0u8; 16 * 1024];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(None)
+                    } else {
+                        Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "stream closed inside a wire frame",
+                        ))
+                    }
+                }
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    self.drain_buffer()?;
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Err(io::Error::new(io::ErrorKind::TimedOut, "recv_message timed out"))
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Sends one message.
+    pub fn send_message(&mut self, msg: &WireMessage) -> io::Result<()> {
+        write_message(&mut self.stream, msg)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn send_upload(&mut self, frame: u64, upload: Upload) -> Result<(), Error> {
+        self.send_message(&WireMessage::Upload { frame, upload })
+            .map_err(io_to_codec)
+    }
+
+    fn recv_uploads(&mut self) -> Result<Vec<Upload>, Error> {
+        self.fill_nonblocking().map_err(io_to_codec)?;
+        let mut out = Vec::new();
+        let mut keep = VecDeque::with_capacity(self.inbox.len());
+        while let Some(msg) = self.inbox.pop_front() {
+            match msg {
+                WireMessage::Upload { upload, .. } => out.push(upload),
+                other => keep.push_back(other),
+            }
+        }
+        self.inbox = keep;
+        Ok(out)
+    }
+
+    fn send_plan(&mut self, frame: u64, plan: DisseminationPlan) -> Result<(), Error> {
+        self.send_message(&WireMessage::Plan {
+            frame,
+            acks: Vec::new(),
+            plan,
+        })
+        .map_err(io_to_codec)
+    }
+
+    fn recv_plans(&mut self) -> Result<Vec<(u64, DisseminationPlan)>, Error> {
+        self.fill_nonblocking().map_err(io_to_codec)?;
+        let mut out = Vec::new();
+        let mut keep = VecDeque::with_capacity(self.inbox.len());
+        while let Some(msg) = self.inbox.pop_front() {
+            match msg {
+                WireMessage::Plan { frame, plan, .. } => out.push((frame, plan)),
+                other => keep.push_back(other),
+            }
+        }
+        self.inbox = keep;
+        Ok(out)
+    }
+}
+
+/// The serving half every transport feeds: the composed edge stage graph
+/// plus the (swappable) dissemination stage. [`crate::System`] drives one
+/// in-process; [`crate::EdgeDaemon`] drives one per daemon over TCP — by
+/// construction they run the same code on whatever uploads the transport
+/// delivered.
+#[derive(Debug)]
+pub struct ServingCore {
+    server: EdgeServer,
+    disseminate: BoxedDisseminationStage,
+}
+
+impl ServingCore {
+    /// Assembles a core from a built server and dissemination stage.
+    pub fn new(server: EdgeServer, disseminate: BoxedDisseminationStage) -> Self {
+        ServingCore { server, disseminate }
+    }
+
+    /// Serves one frame: runs the five server stages over the delivered
+    /// uploads, then the dissemination stage under `budget`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage errors ([`Error::NonFiniteRelevance`] and friends).
+    pub fn serve(
+        &mut self,
+        now: f64,
+        uploads: &[Upload],
+        budget: u64,
+    ) -> Result<(ServerFrame, Staged<DisseminationPlan>), Error> {
+        let sf = self.server.process(now, uploads)?;
+        let cx = FrameCx { now, uploads };
+        let planned = self.disseminate.run(&cx, PlanRequest { frame: &sf, budget })?;
+        Ok((sf, planned))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erpd_core::Assignment;
+    use erpd_geometry::{Pose2, Vec2};
+    use erpd_tracking::ObjectId;
+
+    fn upload(vehicle: u64) -> Upload {
+        Upload {
+            vehicle_id: vehicle,
+            pose: Pose2::new(Vec2::new(1.0, 2.0), 0.1),
+            objects: Vec::new(),
+            bytes: 64,
+            processing_time: 0.001,
+            clustered_points: 0,
+        }
+    }
+
+    fn plan() -> DisseminationPlan {
+        DisseminationPlan {
+            assignments: vec![Assignment {
+                object: ObjectId(1),
+                receiver: ObjectId(2),
+                relevance: 0.5,
+                size_bytes: 100,
+            }],
+            total_relevance: 0.5,
+            total_bytes: 100,
+        }
+    }
+
+    #[test]
+    fn loopback_is_identity_in_fifo_order() {
+        let mut t = LoopbackTransport::new();
+        let (a, b) = (upload(1), upload(2));
+        t.send_upload(0, a.clone()).unwrap();
+        t.send_upload(0, b.clone()).unwrap();
+        assert_eq!(t.recv_uploads().unwrap(), vec![a, b]);
+        assert!(t.recv_uploads().unwrap().is_empty());
+        t.send_plan(4, plan()).unwrap();
+        assert_eq!(t.recv_plans().unwrap(), vec![(4, plan())]);
+    }
+
+    #[test]
+    fn wire_transport_round_trips_through_the_codec() {
+        let mut t = WireTransport::new();
+        t.send_upload(3, upload(9)).unwrap();
+        let got = t.recv_uploads().unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].vehicle_id, 9);
+        assert_eq!(got[0].bytes, 64);
+        t.send_plan(7, plan()).unwrap();
+        // Plans are fixed-width: exact round trip, frame tag included.
+        assert_eq!(t.recv_plans().unwrap(), vec![(7, plan())]);
+    }
+
+    #[test]
+    fn tcp_transport_carries_frames_both_ways() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client_thread = std::thread::spawn(move || {
+            let mut client = TcpTransport::connect(addr).unwrap();
+            client.send_upload(1, upload(5)).unwrap();
+            client
+                .recv_message(Duration::from_secs(5))
+                .unwrap()
+                .expect("plan arrives")
+        });
+        let (server_stream, _) = listener.accept().unwrap();
+        let mut server = TcpTransport::from_stream(server_stream);
+        let got = loop {
+            let u = server.recv_uploads().unwrap();
+            if !u.is_empty() {
+                break u;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert_eq!(got[0].vehicle_id, 5);
+        server.send_plan(2, plan()).unwrap();
+        let msg = client_thread.join().unwrap();
+        assert_eq!(
+            msg,
+            WireMessage::Plan { frame: 2, acks: Vec::new(), plan: plan() }
+        );
+    }
+}

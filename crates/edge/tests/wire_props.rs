@@ -1,0 +1,237 @@
+//! Property suite for the v1 wire codec: random uploads survive the
+//! round trip, and *no* malformed input — truncated, bit-flipped, or
+//! version-skewed — ever panics the decoder. Malformed frames must come
+//! back as `Err(Error::Codec { .. })` (or `Ok(None)` where the bytes are
+//! merely an incomplete prefix a stream would finish later).
+
+use erpd_edge::wire::{FRAME_HEADER_BYTES, WIRE_VERSION};
+use erpd_edge::{truncate_on_wire, Upload, UploadedObject, WireMessage};
+use erpd_core::{Assignment, DisseminationPlan, Error};
+use erpd_geometry::{Pose2, Vec2, Vec3};
+use erpd_pointcloud::{max_quantization_error, PointCloud};
+use erpd_rand::proptest::prelude::*;
+use erpd_rand::rngs::StdRng;
+use erpd_rand::{Rng, RngCore, SeedableRng};
+use erpd_tracking::ObjectId;
+
+/// A random but bounded upload: up to 6 objects of up to 40 points inside
+/// a ±200 m world — the envelope real extractions live in.
+fn random_upload(seed: u64) -> Upload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coord = |span: f64| (rng.next_unit_f64() - 0.5) * 2.0 * span;
+    let pose = Pose2::new(Vec2::new(coord(200.0), coord(200.0)), coord(3.0));
+    let mut rng2 = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    let n_objects = rng2.gen_range(0..6usize);
+    let objects = (0..n_objects)
+        .map(|_| {
+            let c = Vec2::new(
+                (rng2.next_unit_f64() - 0.5) * 400.0,
+                (rng2.next_unit_f64() - 0.5) * 400.0,
+            );
+            let n_points = rng2.gen_range(1..40usize);
+            let points = (0..n_points)
+                .map(|_| {
+                    Vec3::new(
+                        c.x + (rng2.next_unit_f64() - 0.5) * 4.0,
+                        c.y + (rng2.next_unit_f64() - 0.5) * 4.0,
+                        rng2.next_unit_f64() * 3.0,
+                    )
+                })
+                .collect();
+            UploadedObject {
+                centroid: c,
+                points: PointCloud::from_points(points),
+            }
+        })
+        .collect();
+    Upload {
+        vehicle_id: rng2.gen_range(0..10_000u64),
+        pose,
+        objects,
+        bytes: rng2.gen_range(0..1_000_000u64),
+        processing_time: rng2.next_unit_f64(),
+        clustered_points: rng2.gen_range(0..100_000usize),
+    }
+}
+
+fn random_plan(seed: u64) -> DisseminationPlan {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(0..20usize);
+    let assignments: Vec<Assignment> = (0..n)
+        .map(|_| Assignment {
+            object: ObjectId(rng.gen_range(0..1_000u64)),
+            receiver: ObjectId(rng.gen_range(0..1_000u64)),
+            relevance: rng.next_unit_f64(),
+            size_bytes: rng.gen_range(0..100_000u64),
+        })
+        .collect();
+    DisseminationPlan {
+        total_relevance: assignments.iter().map(|a| a.relevance).sum(),
+        total_bytes: assignments.iter().map(|a| a.size_bytes).sum(),
+        assignments,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Encode→decode identity for uploads: every non-point field exact,
+    /// points within the point-cloud codec's quantisation bound.
+    #[test]
+    fn upload_round_trips_within_quantisation(seed in 0u64..5_000, frame in 0u64..1_000_000) {
+        let upload = random_upload(seed);
+        let encoded = WireMessage::Upload { frame, upload: upload.clone() }.encode();
+        let (decoded, used) = WireMessage::decode(&encoded).expect("own encoding decodes");
+        prop_assert_eq!(used, encoded.len());
+        let WireMessage::Upload { frame: f2, upload: got } = decoded else {
+            return Err(TestCaseError::fail("decoded to a different kind".into()));
+        };
+        prop_assert_eq!(f2, frame);
+        prop_assert_eq!(got.vehicle_id, upload.vehicle_id);
+        prop_assert_eq!(got.pose, upload.pose);
+        prop_assert_eq!(got.bytes, upload.bytes);
+        prop_assert_eq!(got.processing_time.to_bits(), upload.processing_time.to_bits());
+        prop_assert_eq!(got.clustered_points, upload.clustered_points);
+        prop_assert_eq!(got.objects.len(), upload.objects.len());
+        for (a, b) in got.objects.iter().zip(&upload.objects) {
+            prop_assert_eq!(a.centroid.x.to_bits(), b.centroid.x.to_bits());
+            prop_assert_eq!(a.points.len(), b.points.len());
+            let tol = 2.0 * max_quantization_error(&b.points) + 1e-12;
+            for (p, q) in a.points.iter().zip(b.points.iter()) {
+                prop_assert!((p.x - q.x).abs() <= tol, "x off by {}", (p.x - q.x).abs());
+                prop_assert!((p.y - q.y).abs() <= tol);
+                prop_assert!((p.z - q.z).abs() <= tol);
+            }
+        }
+    }
+
+    /// Plans are fixed-width integers and raw f64 bits: exact identity.
+    #[test]
+    fn plan_round_trips_exactly(seed in 0u64..5_000, frame in 0u64..1_000_000) {
+        let plan = random_plan(seed);
+        let acks: Vec<(u64, u64)> =
+            (0..(seed % 7)).map(|k| (seed ^ k, k)).collect();
+        let msg = WireMessage::Plan { frame, acks, plan };
+        let encoded = msg.encode();
+        let (decoded, used) = WireMessage::decode(&encoded).expect("own encoding decodes");
+        prop_assert_eq!(used, encoded.len());
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// Every strict prefix of a valid frame is rejected as a codec error —
+    /// and never panics. (`decode` demands a complete frame; the streaming
+    /// `decode_frame` reports the same prefix as "incomplete" instead.)
+    #[test]
+    fn truncated_frames_error_and_never_panic(seed in 0u64..300) {
+        let upload = random_upload(seed);
+        let encoded = WireMessage::Upload { frame: seed, upload }.encode();
+        // Every 7th prefix keeps the runtime sane on multi-KB frames while
+        // still covering header, fixed-field, and point-data cuts.
+        for cut in (0..encoded.len()).step_by(7) {
+            let prefix = &encoded[..cut];
+            match WireMessage::decode(prefix) {
+                Err(Error::Codec { .. }) => {}
+                Err(e) => return Err(TestCaseError::fail(format!("non-codec error {e:?}"))),
+                Ok(_) => return Err(TestCaseError::fail(format!("prefix of {cut} decoded"))),
+            }
+            match WireMessage::decode_frame(prefix) {
+                Ok(None) | Err(Error::Codec { .. }) => {}
+                other => {
+                    return Err(TestCaseError::fail(format!(
+                        "decode_frame on prefix of {cut} gave {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// A single flipped bit anywhere in the frame never panics the
+    /// decoder: it either still decodes (the flip hit payload data the
+    /// format cannot distinguish from real values) or reports a codec
+    /// error — and a flip inside the 6 leading magic/version/kind bytes
+    /// is always caught.
+    #[test]
+    fn bit_flips_never_panic(seed in 0u64..200, flip in 0usize..20_000) {
+        let upload = random_upload(seed);
+        let mut encoded = WireMessage::Upload { frame: seed, upload }.encode();
+        let bit = flip % (encoded.len() * 8);
+        encoded[bit / 8] ^= 1 << (bit % 8);
+        let headerish = bit / 8 < 6;
+        match WireMessage::decode(&encoded) {
+            Ok(_) => prop_assert!(
+                !headerish,
+                "a magic/version/kind flip at bit {bit} must not decode"
+            ),
+            Err(Error::Codec { .. }) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("non-codec error {e:?}"))),
+        }
+    }
+
+    /// Any version byte other than [`WIRE_VERSION`] is refused outright.
+    #[test]
+    fn wrong_version_is_refused(seed in 0u64..200, version in 0u64..256) {
+        let version = version as u8;
+        let upload = random_upload(seed);
+        let mut encoded = WireMessage::Upload { frame: seed, upload }.encode();
+        encoded[4] = version;
+        let result = WireMessage::decode(&encoded);
+        if version == WIRE_VERSION {
+            prop_assert!(result.is_ok());
+        } else {
+            prop_assert!(
+                matches!(result, Err(Error::Codec { .. })),
+                "version {version} must be refused"
+            );
+        }
+    }
+
+    /// Wire-level truncation salvages a *prefix* of the object list (never
+    /// reorders, never invents) and yields `None` — not a panic — when the
+    /// cut clips the fixed fields.
+    #[test]
+    fn truncate_on_wire_salvages_a_prefix(seed in 0u64..400, keep_millis in 0u64..1_001) {
+        let upload = random_upload(seed);
+        let keep = keep_millis as f64 / 1_000.0;
+        match truncate_on_wire(&upload, keep) {
+            None => {
+                // Only tiny keep fractions may destroy the fixed fields.
+                let encoded_len =
+                    WireMessage::Upload { frame: 0, upload: upload.clone() }.encode().len();
+                let cut = (encoded_len as f64 * keep).floor() as usize;
+                prop_assert!(
+                    cut < encoded_len,
+                    "a full-length cut must salvage the whole upload"
+                );
+            }
+            Some(t) => {
+                prop_assert_eq!(t.vehicle_id, upload.vehicle_id);
+                prop_assert!(t.objects.len() <= upload.objects.len());
+                for (a, b) in t.objects.iter().zip(&upload.objects) {
+                    prop_assert_eq!(a.centroid.x.to_bits(), b.centroid.x.to_bits());
+                    prop_assert_eq!(a.points.len(), b.points.len());
+                }
+                if (keep - 1.0).abs() < f64::EPSILON {
+                    prop_assert_eq!(t.objects.len(), upload.objects.len());
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic spot check: a frame carrying a deliberately oversized
+/// payload length is refused before any allocation is attempted.
+#[test]
+fn oversized_declared_payload_is_refused() {
+    let upload = random_upload(1);
+    let mut encoded = WireMessage::Upload { frame: 1, upload }.encode();
+    let huge = (u32::MAX).to_le_bytes();
+    encoded[FRAME_HEADER_BYTES - 4..FRAME_HEADER_BYTES].copy_from_slice(&huge);
+    assert!(matches!(
+        WireMessage::decode(&encoded),
+        Err(Error::Codec { .. })
+    ));
+    assert!(matches!(
+        WireMessage::decode_frame(&encoded),
+        Err(Error::Codec { .. })
+    ));
+}

@@ -28,6 +28,17 @@ cargo test -q --offline
 echo "==> cargo build --release --offline --benches --workspace"
 cargo build --release --offline --benches --workspace
 
+echo "==> cargo build --release --offline --workspace --bins"
+cargo build --release --offline --workspace --bins
+
+echo "==> cargo test -q --offline -p erpd-edge"
+cargo test -q --offline -p erpd-edge
+
+echo "==> smoke capacity check (8 clients x 20 frames)"
+./target/release/erpd-loadgen --clients 8 --frames 20 \
+    --out target/BENCH_capacity_smoke.json
+grep -q '"bench": "capacity"' target/BENCH_capacity_smoke.json
+
 echo "==> cargo build --release --offline --no-default-features"
 cargo build --release --offline --no-default-features
 

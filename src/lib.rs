@@ -94,11 +94,13 @@ pub mod prelude {
         PlanInputs, RelevanceConfig, RelevanceMatrix, RelevanceMode,
     };
     pub use erpd_edge::{
-        run, run_seeds, AveragedResult, BoxedDisseminationStage, BroadcastDissemination,
-        EdgeServer, Error, FaultModel, FrameCx, FrameReport, GreedyDissemination, ModuleTimes,
-        ModuleTimesMs, NetworkConfig, PipelineBuilder, PlanRequest, RoundRobinDissemination,
-        RunConfig, RunResult, ServerConfig, ServerFrame, Stage, Staged, Strategy, System,
-        SystemConfig, TRACK_ID_BASE,
+        run, run_seeds, truncate_on_wire, AveragedResult, BoxedDisseminationStage,
+        BroadcastDissemination, DaemonConfig, EdgeDaemon, EdgeServer, Error, FaultModel, FrameCx,
+        FrameReport, GreedyDissemination, LoopbackTransport, ModuleTimes, ModuleTimesMs,
+        NetworkConfig, PipelineBuilder, PlanRequest, RoundRobinDissemination, RunConfig,
+        RunResult, ServerConfig, ServerFrame, ServerHandle, ServingCore, Stage, Staged, Strategy,
+        System, SystemConfig, TcpTransport, Transport, WireMessage, WireTransport, TRACK_ID_BASE,
+        WIRE_VERSION,
     };
     pub use erpd_geometry::{Transform3, Vec2, Vec3};
     pub use erpd_par::{max_threads, set_max_threads};

@@ -54,7 +54,7 @@ fn bench_server(c: &mut Criterion) {
                 .with_connected_fraction(pct as f64 / 100.0)
                 .with_seed(5),
         );
-        let mut sys = System::new(SystemConfig::new(Strategy::Ours), &s.world);
+        let mut sys = System::builder(SystemConfig::new(Strategy::Ours)).build(&s.world);
         for _ in 0..20 {
             sys.tick(&mut s.world).unwrap();
             s.world.step();
@@ -62,7 +62,7 @@ fn bench_server(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("full_tick", pct), &pct, |b, _| {
             b.iter(|| {
                 let mut world = s.world.clone();
-                let mut system = System::new(SystemConfig::new(Strategy::Ours), &world);
+                let mut system = System::builder(SystemConfig::new(Strategy::Ours)).build(&world);
                 black_box(system.tick(&mut world).unwrap())
             })
         });

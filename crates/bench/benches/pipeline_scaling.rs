@@ -37,7 +37,7 @@ fn bench_scaling(c: &mut Criterion) {
                 .with_connected_fraction(frac)
                 .with_seed(5),
         );
-        let mut sys = System::new(SystemConfig::default(), &s.world);
+        let mut sys = System::builder(SystemConfig::default()).build(&s.world);
         for _ in 0..20 {
             sys.tick(&mut s.world).unwrap();
             s.world.step();
@@ -50,7 +50,7 @@ fn bench_scaling(c: &mut Criterion) {
                 |b, _| {
                     b.iter(|| {
                         let mut world = s.world.clone();
-                        let mut system = System::new(SystemConfig::default(), &world);
+                        let mut system = System::builder(SystemConfig::default()).build(&world);
                         black_box(system.tick(&mut world).unwrap())
                     })
                 },

@@ -187,7 +187,7 @@ pub fn rules_reduction(cfg: &HarnessConfig) -> Result<Table, Error> {
                     .with_connected_fraction(frac)
                     .with_seed(seed),
             );
-            let mut sys = System::new(SystemConfig::new(Strategy::Ours), &s.world);
+            let mut sys = System::builder(SystemConfig::new(Strategy::Ours)).build(&s.world);
             for _ in 0..40 {
                 let r = sys.tick(&mut s.world)?;
                 s.world.step();

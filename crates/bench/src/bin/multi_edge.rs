@@ -1,0 +1,68 @@
+//! `erpd-multi-edge` — sweep the multi-edge serving layer and emit the
+//! `BENCH_multi_edge.json` artifact.
+//!
+//! ```text
+//! erpd-multi-edge [--edges 1,2,4,8] [--vehicles 64,256,1024]
+//!                 [--frames 20] [--out BENCH_multi_edge.json]
+//! ```
+//!
+//! Each grid point deploys N serving cores over vertical strip regions,
+//! drifts the synthetic fleet across strip boundaries (every crossing is
+//! a wire-codec handover), and reports per-edge serve-time percentiles.
+//! Points that would overload a single edge are recorded as skipped.
+
+use erpd_bench::multi_edge::{multi_edge_json, run_sweep};
+use erpd_edge::NetworkConfig;
+
+fn main() {
+    let mut edges: Vec<usize> = vec![1, 2, 4, 8];
+    let mut vehicles: Vec<usize> = vec![64, 256, 1024];
+    let mut frames: u64 = 20;
+    let mut out = "BENCH_multi_edge.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        let list = |s: String, name: &str| -> Vec<usize> {
+            s.split(',')
+                .map(|v| v.trim().parse().unwrap_or_else(|_| panic!("{name} wants integers")))
+                .collect()
+        };
+        match a.as_str() {
+            "--edges" => edges = list(value("--edges"), "--edges"),
+            "--vehicles" => vehicles = list(value("--vehicles"), "--vehicles"),
+            "--frames" => frames = value("--frames").parse().expect("--frames wants an integer"),
+            "--out" => out = value("--out"),
+            "--help" | "-h" => {
+                println!(
+                    "erpd-multi-edge [--edges N,N,...] [--vehicles N,N,...] \
+                     [--frames N] [--out FILE]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let points = run_sweep(&edges, &vehicles, frames);
+    for p in &points {
+        match p.skipped {
+            Some(reason) => eprintln!(
+                "erpd-multi-edge: {:>2} edges {:>5} vehicles  skipped ({reason})",
+                p.edges, p.vehicles
+            ),
+            None => eprintln!(
+                "erpd-multi-edge: {:>2} edges {:>5} vehicles  p50 {:>8.3} ms  p95 {:>8.3} ms  \
+                 worst-edge p95 {:>8.3} ms  {:>5} handovers",
+                p.edges, p.vehicles, p.p50_ms, p.p95_ms, p.worst_edge_p95_ms, p.handovers
+            ),
+        }
+    }
+
+    let json = multi_edge_json(&points, NetworkConfig::default().frame_period);
+    std::fs::write(&out, &json).expect("cannot write the multi-edge artifact");
+    println!("{json}");
+    eprintln!("erpd-multi-edge: wrote {out}");
+}

@@ -1,0 +1,323 @@
+//! Multi-edge deployment scale sweep: how many vehicles a city-scale
+//! strip of edge servers sustains, and what cross-edge handover costs.
+//!
+//! Unlike the TCP capacity harness (`erpd-loadgen`), this sweep measures
+//! the **serving layer** itself: N [`ServingCore`]s own N vertical strip
+//! [`Region`]s over a synthetic corridor, synthetic vehicles drift along
+//! the corridor crossing strip boundaries, every crossing rides the real
+//! wire codec (`WireMessage::Handover`), and each edge's per-frame serve
+//! time is sampled with a monotonic clock. That isolates the compute cost
+//! of tracking + relevance + dissemination per edge from socket pacing,
+//! so the sweep can reach thousands of vehicles on one machine.
+//!
+//! [`run_sweep`] runs an (edges × vehicles) grid — combinations that
+//! would overload a single edge beyond [`MAX_VEHICLES_PER_EDGE`] are
+//! recorded as skipped, not silently dropped — and [`multi_edge_json`]
+//! renders `BENCH_multi_edge.json` in the style of the capacity artifact.
+
+use erpd_core::Region;
+use erpd_edge::{
+    percentile, NetworkConfig, PipelineBuilder, ServerConfig, ServingCore, Upload, UploadedObject,
+    WireMessage,
+};
+use erpd_geometry::{Pose2, Vec2, Vec3};
+use erpd_pointcloud::PointCloud;
+use erpd_sim::IntersectionMap;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Corridor half-length, metres: strips tile `[-SPAN, SPAN]` along x.
+pub const SPAN: f64 = 256.0;
+
+/// Corridor half-width, metres (vehicle lanes spread over `±WIDTH`).
+pub const WIDTH: f64 = 30.0;
+
+/// Frames at the head of the run that are served but not measured —
+/// tracker warm-up is real work, but it is not steady state.
+pub const WARMUP_FRAMES: u64 = 2;
+
+/// A combination is feasible when no edge owns more vehicles than this.
+/// Beyond it a single edge's relevance matrix dominates the frame period
+/// so badly the point measures swap pressure, not serving capacity.
+pub const MAX_VEHICLES_PER_EDGE: usize = 256;
+
+/// The measurement at one (edges, vehicles) grid point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Edge servers deployed (vertical strips over the corridor).
+    pub edges: usize,
+    /// Synthetic vehicles drifting along the corridor.
+    pub vehicles: usize,
+    /// Frames served (including warm-up).
+    pub frames: u64,
+    /// Cross-edge handovers performed over the run.
+    pub handovers: u64,
+    /// Median per-edge serve time, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile per-edge serve time, milliseconds.
+    pub p95_ms: f64,
+    /// The slowest single edge's own p95, milliseconds — the number that
+    /// must stay under the frame period for real-time serving.
+    pub worst_edge_p95_ms: f64,
+    /// Uploads served across all edges and measured frames.
+    pub uploads_served: u64,
+    /// `Some(reason)` when the point was skipped as infeasible; every
+    /// other field is zero / NaN then.
+    pub skipped: Option<&'static str>,
+}
+
+impl SweepPoint {
+    fn skipped(edges: usize, vehicles: usize, reason: &'static str) -> Self {
+        SweepPoint {
+            edges,
+            vehicles,
+            frames: 0,
+            handovers: 0,
+            p50_ms: f64::NAN,
+            p95_ms: f64::NAN,
+            worst_edge_p95_ms: f64::NAN,
+            uploads_served: 0,
+            skipped: Some(reason),
+        }
+    }
+}
+
+/// `n` equal vertical strips tiling the corridor, lowest x first.
+fn strip_regions(n: usize) -> Vec<Region> {
+    let w = 2.0 * SPAN / n as f64;
+    (0..n)
+        .map(|k| {
+            Region::new(
+                Vec2::new(-SPAN + k as f64 * w, -WIDTH - 10.0),
+                Vec2::new(-SPAN + (k + 1) as f64 * w, WIDTH + 10.0),
+            )
+        })
+        .collect()
+}
+
+/// Deterministic kinematics of synthetic vehicle `i`: a fixed lane, a
+/// fixed speed, and an x that wraps around the corridor — so boundary
+/// crossings (and therefore handovers) happen continuously.
+fn vehicle_position(i: usize, t: f64) -> Vec2 {
+    let lane = -WIDTH + (i * 13 % 61) as f64;
+    let speed = 10.0 + (i % 7) as f64 * 2.0;
+    let x0 = -SPAN + (i * 97 % 512) as f64;
+    let x = (x0 + speed * t + SPAN).rem_euclid(2.0 * SPAN) - SPAN;
+    Vec2::new(x, lane)
+}
+
+/// The vehicle's upload for one frame: its pose plus one small object
+/// cluster ahead of it (a pedestrian-sized point blob), so every edge
+/// runs the full merge → track → predict → relevance → disseminate path.
+fn synthetic_upload(i: usize, t: f64) -> Upload {
+    let p = vehicle_position(i, t);
+    let centroid = Vec2::new(p.x + 8.0, p.y);
+    let points: Vec<Vec3> = (0..6)
+        .map(|j| {
+            Vec3::new(
+                centroid.x + (j % 3) as f64 * 0.3,
+                centroid.y + (j / 3) as f64 * 0.3,
+                0.5 + j as f64 * 0.2,
+            )
+        })
+        .collect();
+    Upload {
+        vehicle_id: i as u64,
+        pose: Pose2::new(p, 0.0),
+        objects: vec![UploadedObject {
+            centroid,
+            points: PointCloud::from_points(points),
+        }],
+        bytes: 1_200,
+        processing_time: 0.0,
+        clustered_points: 6,
+    }
+}
+
+/// Runs one grid point: `edges` cores serving `vehicles` drifting
+/// clients for `frames` frames, handing over on every strip crossing.
+pub fn measure_point(edges: usize, vehicles: usize, frames: u64) -> SweepPoint {
+    assert!(edges > 0 && frames > WARMUP_FRAMES);
+    if vehicles.div_ceil(edges) > MAX_VEHICLES_PER_EDGE {
+        return SweepPoint::skipped(edges, vehicles, "exceeds MAX_VEHICLES_PER_EDGE");
+    }
+
+    let regions = strip_regions(edges);
+    let network = NetworkConfig::default();
+    let budget = network.downlink_budget_bytes();
+    let mut cores: Vec<ServingCore> = (0..edges)
+        .map(|k| {
+            let config = ServerConfig::default().with_track_id_base((k as u64) << 32);
+            let (server, disseminate) =
+                PipelineBuilder::new(config, IntersectionMap::default()).build();
+            ServingCore::new(server, disseminate)
+        })
+        .collect();
+
+    let mut owners: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut handovers = 0u64;
+    let mut uploads_served = 0u64;
+    let mut per_edge_ms: Vec<Vec<f64>> = vec![Vec::new(); edges];
+
+    for frame in 0..frames {
+        let t = frame as f64 * network.frame_period;
+        let mut per_edge: Vec<Vec<Upload>> = vec![Vec::new(); edges];
+        for i in 0..vehicles {
+            let upload = synthetic_upload(i, t);
+            let owner = regions
+                .iter()
+                .position(|r| r.contains(upload.pose.position))
+                .expect("strips tile the corridor");
+            if let Some(prev) = owners.insert(i as u64, owner) {
+                if prev != owner {
+                    // The real handover path: export, wire round trip,
+                    // import — exactly what the deployment layer does.
+                    let handover = cores[prev].export_handover(i as u64);
+                    let encoded = WireMessage::Handover { handover }.encode();
+                    let (decoded, _) = WireMessage::decode(&encoded).expect("own encoding decodes");
+                    let WireMessage::Handover { handover } = decoded else {
+                        unreachable!("a handover frame decodes to a handover");
+                    };
+                    cores[owner].import_handover(&handover);
+                    handovers += 1;
+                }
+            }
+            per_edge[owner].push(upload);
+        }
+        for (k, uploads) in per_edge.iter().enumerate() {
+            let started = Instant::now();
+            cores[k]
+                .serve(t, uploads, budget)
+                .expect("synthetic uploads are finite");
+            if frame >= WARMUP_FRAMES {
+                per_edge_ms[k].push(started.elapsed().as_secs_f64() * 1e3);
+                uploads_served += uploads.len() as u64;
+            }
+        }
+    }
+
+    let mut all: Vec<f64> = per_edge_ms.iter().flatten().copied().collect();
+    let worst = per_edge_ms
+        .iter_mut()
+        .map(|samples| percentile(samples, 0.95))
+        .fold(f64::NAN, f64::max);
+    SweepPoint {
+        edges,
+        vehicles,
+        frames,
+        handovers,
+        p50_ms: percentile(&mut all, 0.50),
+        p95_ms: percentile(&mut all, 0.95),
+        worst_edge_p95_ms: worst,
+        uploads_served,
+        skipped: None,
+    }
+}
+
+/// Runs the full (edges × vehicles) grid, skipping infeasible points.
+pub fn run_sweep(edge_counts: &[usize], vehicle_counts: &[usize], frames: u64) -> Vec<SweepPoint> {
+    let mut points = Vec::with_capacity(edge_counts.len() * vehicle_counts.len());
+    for &edges in edge_counts {
+        for &vehicles in vehicle_counts {
+            points.push(measure_point(edges, vehicles, frames));
+        }
+    }
+    points
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders the sweep as the `BENCH_multi_edge.json` artifact.
+pub fn multi_edge_json(points: &[SweepPoint], frame_period: f64) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"bench\": \"multi_edge\",\n");
+    s.push_str(&format!(
+        "  \"frame_period_ms\": {},\n  \"max_vehicles_per_edge\": {},\n  \"points\": [\n",
+        json_f64(frame_period * 1e3),
+        MAX_VEHICLES_PER_EDGE
+    ));
+    for (i, p) in points.iter().enumerate() {
+        let body = match p.skipped {
+            Some(reason) => format!(
+                "\"edges\": {}, \"vehicles\": {}, \"skipped\": \"{}\"",
+                p.edges, p.vehicles, reason
+            ),
+            None => format!(
+                "\"edges\": {}, \"vehicles\": {}, \"frames\": {}, \"handovers\": {}, \
+                 \"p50_ms\": {}, \"p95_ms\": {}, \"worst_edge_p95_ms\": {}, \"uploads_served\": {}",
+                p.edges,
+                p.vehicles,
+                p.frames,
+                p.handovers,
+                json_f64(p.p50_ms),
+                json_f64(p.p95_ms),
+                json_f64(p.worst_edge_p95_ms),
+                p.uploads_served
+            ),
+        };
+        s.push_str(&format!(
+            "    {{{body}}}{}\n",
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_tile_the_corridor() {
+        let regions = strip_regions(4);
+        assert_eq!(regions.len(), 4);
+        for x in [-255.9, -100.0, 0.0, 100.0, 255.9] {
+            let p = Vec2::new(x, 0.0);
+            assert!(regions.iter().any(|r| r.contains(p)), "{x} uncovered");
+        }
+        assert!((regions[0].max.x - regions[1].min.x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drifting_vehicles_hand_over_and_serve() {
+        let p = measure_point(2, 16, 30);
+        assert!(p.skipped.is_none());
+        assert!(p.handovers > 0, "drifting vehicles must cross strips");
+        // 16 uploads per frame over 28 measured frames land somewhere.
+        assert_eq!(p.uploads_served, 16 * 28);
+        assert!(p.p95_ms.is_finite() && p.p95_ms > 0.0);
+        assert!(p.worst_edge_p95_ms >= p.p50_ms);
+    }
+
+    #[test]
+    fn infeasible_points_are_recorded_not_dropped() {
+        let points = run_sweep(&[1, 4], &[8, 1_024], 4);
+        assert_eq!(points.len(), 4);
+        assert_eq!(
+            points[1].skipped,
+            Some("exceeds MAX_VEHICLES_PER_EDGE"),
+            "1024 vehicles on one edge must be skipped"
+        );
+        assert!(points[3].skipped.is_none(), "1024 over 4 edges fits");
+    }
+
+    #[test]
+    fn json_artifact_is_well_formed() {
+        let points = vec![
+            measure_point(2, 8, 4),
+            SweepPoint::skipped(1, 4_096, "exceeds MAX_VEHICLES_PER_EDGE"),
+        ];
+        let s = multi_edge_json(&points, 0.1);
+        assert!(s.contains("\"bench\": \"multi_edge\""));
+        assert!(s.contains("\"edges\": 2"));
+        assert!(s.contains("\"skipped\": \"exceeds MAX_VEHICLES_PER_EDGE\""));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+}

@@ -51,6 +51,7 @@
 mod dissemination;
 mod error;
 mod following;
+mod handover;
 mod knapsack;
 mod matrix;
 mod par;
@@ -61,6 +62,7 @@ pub use dissemination::{
     PlanInputs,
 };
 pub use error::Error;
+pub use handover::{PoseSample, Region, TrackSnapshot, VehicleHandover};
 pub use following::{
     follower_at_risk, follower_relevance, pipes_safe_distance, satisfies_gipps, satisfies_pipes,
     DEFAULT_ALPHA, GIPPS_TIME_GAP,

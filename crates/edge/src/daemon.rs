@@ -264,9 +264,9 @@ fn reader_loop(stream: TcpStream, shared: Arc<Shared>) {
                 drop(ingest);
                 shared.arrivals.notify_all();
             }
-            // A client has no business sending plans; ignore rather than
-            // kill the connection.
-            Ok(Some(WireMessage::Plan { .. })) => {}
+            // A client has no business sending plans or handovers (those
+            // flow edge-to-edge); ignore rather than kill the connection.
+            Ok(Some(WireMessage::Plan { .. })) | Ok(Some(WireMessage::Handover { .. })) => {}
             Ok(Some(WireMessage::Bye)) | Ok(None) => break,
             Err(e)
                 if e.kind() == io::ErrorKind::TimedOut

@@ -44,6 +44,7 @@ pub mod capacity;
 mod daemon;
 mod fault;
 mod metrics;
+mod multi;
 mod network;
 mod par;
 mod pipeline;
@@ -64,12 +65,17 @@ pub use pipeline::{
     TrackStage, Tracks, TrafficMap,
 };
 pub use metrics::{percentile, run, run_seeds, AveragedResult, ModuleTimesMs, RunConfig, RunResult};
+pub use multi::{
+    Coverage, Deployment, DeploymentBuilder, DeploymentReport, FleetReport, HandoverPolicy,
+};
 pub use stages::{
     StageAccumulator, StageSample, StageSummary, StageTimer, StageTimes, STAGE_NAMES,
 };
 pub use network::NetworkConfig;
 pub use server::{DetectionSummary, EdgeServer, ServerConfig, ServerFrame, TRACK_ID_BASE};
-pub use system::{FrameReport, ModuleTimes, System, SystemConfig, V2V_CHANNEL_BPS, V2V_RANGE_M};
+pub use system::{
+    FrameReport, ModuleTimes, System, SystemBuilder, SystemConfig, V2V_CHANNEL_BPS, V2V_RANGE_M,
+};
 pub use transport::{LoopbackTransport, ServingCore, TcpTransport, Transport, WireTransport};
 pub use wire::{truncate_on_wire, WireMessage, MAX_PAYLOAD_BYTES, WIRE_MAGIC, WIRE_VERSION};
 pub use upload::{

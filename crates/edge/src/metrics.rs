@@ -112,7 +112,7 @@ pub struct ModuleTimesMs {
 /// [`crate::FaultModel`] is the common caller-facing case).
 pub fn run(config: RunConfig) -> Result<RunResult, Error> {
     let mut scenario = Scenario::build(config.scenario);
-    let mut system = System::new(config.system, &scenario.world);
+    let mut system = System::builder(config.system).build(&scenario.world);
 
     let steps = (config.duration / scenario.world.config.dt).ceil() as usize;
     let mut min_distance = f64::INFINITY;

@@ -75,6 +75,17 @@ pub trait Stage<In, Out>: fmt::Debug + Send {
     /// Stage-specific; the default stages only fail in relevance assembly
     /// ([`Error::NonFiniteRelevance`]).
     fn run(&mut self, cx: &FrameCx<'_>, input: In) -> Result<Staged<Out>, Error>;
+
+    /// Contributes this stage's share of a cross-edge handover message
+    /// when the vehicle leaves the edge's coverage region. Stateless
+    /// stages have nothing to say — the default is a no-op, so custom
+    /// stages only override this when they hold per-vehicle state (see
+    /// [`TrackStage`], [`RoundRobinDissemination`]).
+    fn export_handover(&mut self, _handover: &mut erpd_core::VehicleHandover) {}
+
+    /// Absorbs a handover message from the edge that previously served
+    /// the vehicle. Default: no-op (see [`Stage::export_handover`]).
+    fn import_handover(&mut self, _handover: &erpd_core::VehicleHandover) {}
 }
 
 /// The merged traffic map (voxel-deduplicated union of all uploads).
@@ -424,13 +435,19 @@ pub struct TrackStage {
     last_bytes: BTreeMap<ObjectId, u64>,
 }
 
+/// How far around a departing vehicle [`TrackStage::export_handover`]
+/// snapshots tracks: objects it is plausibly the best observer of.
+const HANDOVER_TRACK_RADIUS_M: f64 = 100.0;
+
 impl TrackStage {
-    /// A fresh tracking stage bound to the HD map.
+    /// A fresh tracking stage bound to the HD map. Fresh track ids start
+    /// at [`ServerConfig::track_id_base`], so multi-edge deployments can
+    /// give every edge a disjoint id namespace.
     pub fn new(config: &ServerConfig, map: Arc<IntersectionMap>) -> Self {
         TrackStage {
             config: *config,
             map,
-            tracker: Tracker::new(TrackerConfig::default()),
+            tracker: Tracker::with_id_base(TrackerConfig::default(), config.track_id_base),
             pose_history: BTreeMap::new(),
             last_bytes: BTreeMap::new(),
         }
@@ -624,6 +641,79 @@ impl Stage<AssociatedDetections, Tracks> for TrackStage {
             },
             sample: t.stop(items),
         })
+    }
+
+    /// Moves the vehicle's pose history into the message and snapshots the
+    /// tracks around its last known position. Tracks are *copied*, not
+    /// removed: vehicles still inside this region may keep observing them,
+    /// and an orphaned track ages out through the tracker's miss limit
+    /// exactly as if its observer had disconnected.
+    fn export_handover(&mut self, handover: &mut erpd_core::VehicleHandover) {
+        if let Some(h) = self.pose_history.remove(&handover.vehicle_id) {
+            if let Some(&(_, pose)) = h.back() {
+                handover.position = pose.position;
+            }
+            handover.pose_history = h
+                .into_iter()
+                .map(|(t, pose)| erpd_core::PoseSample {
+                    t,
+                    position: pose.position,
+                    heading: pose.heading(),
+                })
+                .collect();
+        }
+        for track in self.tracker.tracks() {
+            if track.position().distance(handover.position) > HANDOVER_TRACK_RADIUS_M {
+                continue;
+            }
+            let global = ObjectId(TRACK_ID_BASE + track.id().0);
+            handover.tracks.push(erpd_core::TrackSnapshot {
+                id: track.id().0,
+                kind: track.kind(),
+                misses: track.misses() as u64,
+                bytes: self.last_bytes.get(&global).copied().unwrap_or(0),
+                history: track.history().collect(),
+            });
+        }
+    }
+
+    /// Adopts the transferred pose history and track snapshots. A local
+    /// pose history that is already fresher (the vehicle dual-reported
+    /// here before crossing) is kept; transferred tracks replace same-id
+    /// tracks and append otherwise, so identities survive the crossing.
+    fn import_handover(&mut self, handover: &erpd_core::VehicleHandover) {
+        let incoming_last = handover.pose_history.last().map(|p| p.t);
+        let local_last = self
+            .pose_history
+            .get(&handover.vehicle_id)
+            .and_then(|h| h.back().map(|&(t, _)| t));
+        let keep_local = matches!((incoming_last, local_last), (Some(i), Some(l)) if i < l);
+        if incoming_last.is_some() && !keep_local {
+            let mut h: VecDeque<(f64, Pose2)> = handover
+                .pose_history
+                .iter()
+                .map(|p| (p.t, Pose2::new(p.position, p.heading)))
+                .collect();
+            while h.len() > self.config.pose_history_len {
+                h.pop_front();
+            }
+            self.pose_history.insert(handover.vehicle_id, h);
+        }
+        for snap in &handover.tracks {
+            let Some(track) = erpd_tracking::Track::from_history(
+                ObjectId(snap.id),
+                snap.kind,
+                snap.misses as usize,
+                &snap.history,
+            ) else {
+                continue;
+            };
+            self.tracker.adopt(track);
+            if snap.bytes > 0 {
+                self.last_bytes
+                    .insert(ObjectId(TRACK_ID_BASE + snap.id), snap.bytes);
+            }
+        }
     }
 }
 
@@ -1034,6 +1124,17 @@ impl<'a> Stage<PlanRequest<'a>, DisseminationPlan> for RoundRobinDissemination {
             artifact: plan,
             sample: t.stop(items),
         })
+    }
+
+    /// Records the rotation offset so the EMP state survives the transfer.
+    fn export_handover(&mut self, handover: &mut erpd_core::VehicleHandover) {
+        handover.rr_offset = self.offset as u64;
+    }
+
+    /// Resumes the exported rotation, so the gaining edge does not
+    /// immediately re-serve pairs the losing edge just served.
+    fn import_handover(&mut self, handover: &erpd_core::VehicleHandover) {
+        self.offset = handover.rr_offset as usize;
     }
 }
 

@@ -56,6 +56,11 @@ pub struct ServerConfig {
     /// Poses retained per connected vehicle for finite-difference
     /// velocity / turn-rate estimation (and coasting anchors).
     pub pose_history_len: usize,
+    /// First tracker-local id this server assigns to a fresh track. A
+    /// multi-edge deployment gives edge `k` the base `k << 32`, so track
+    /// identities stay unique fleet-wide and survive cross-edge handover.
+    /// The default `0` reproduces the single-edge id sequence exactly.
+    pub track_id_base: u64,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +76,7 @@ impl Default for ServerConfig {
             pedestrian_extent: 1.6,
             coast_horizon: 0.0,
             pose_history_len: 4,
+            track_id_base: 0,
         }
     }
 }
@@ -134,6 +140,12 @@ impl ServerConfig {
     /// Returns the configuration with the pose-history depth replaced.
     pub fn with_pose_history_len(mut self, pose_history_len: usize) -> Self {
         self.pose_history_len = pose_history_len;
+        self
+    }
+
+    /// Returns the configuration with the tracker id namespace replaced.
+    pub fn with_track_id_base(mut self, track_id_base: u64) -> Self {
+        self.track_id_base = track_id_base;
         self
     }
 }
@@ -284,6 +296,26 @@ impl EdgeServer {
             stages.tracking.seconds + stages.prediction.seconds + stages.relevance.seconds;
         frame.stages = stages;
         Ok(frame)
+    }
+
+    /// Collects every stage's share of a cross-edge handover message for
+    /// `vehicle_id` (in practice only the tracking stage holds per-vehicle
+    /// state, but the seam asks all five so swapped-in stages can join).
+    pub fn export_handover(&mut self, handover: &mut erpd_core::VehicleHandover) {
+        self.merge.export_handover(handover);
+        self.associate.export_handover(handover);
+        self.track.export_handover(handover);
+        self.predict.export_handover(handover);
+        self.relevance.export_handover(handover);
+    }
+
+    /// Offers a handover message from another edge to every stage.
+    pub fn import_handover(&mut self, handover: &erpd_core::VehicleHandover) {
+        self.merge.import_handover(handover);
+        self.associate.import_handover(handover);
+        self.track.import_handover(handover);
+        self.predict.import_handover(handover);
+        self.relevance.import_handover(handover);
     }
 }
 

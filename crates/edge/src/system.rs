@@ -9,9 +9,9 @@ use crate::pipeline::{
 use crate::stages::{StageSample, StageTimes};
 use crate::transport::{LoopbackTransport, ServingCore, Transport};
 use crate::{EdgeServer, NetworkConfig, ServerConfig, ServerFrame, Strategy, Upload, VehicleSide};
-use erpd_core::Error;
+use erpd_core::{DisseminationPlan, Error, VehicleHandover};
 use erpd_geometry::Vec2;
-use erpd_sim::World;
+use erpd_sim::{LidarFrame, World};
 use erpd_tracking::ObjectId;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -240,6 +240,70 @@ impl Default for SystemConfig {
     }
 }
 
+/// Builds a [`System`] piece by piece — the entry point is
+/// [`System::builder`].
+///
+/// Every part is optional: an unset pipeline defaults to the paper's stage
+/// graph over the world's map, an unset dissemination stage defaults per
+/// strategy ([`default_dissemination`]), and an unset transport defaults to
+/// the in-process [`LoopbackTransport`]. The same `pipeline`/`transport`
+/// vocabulary is shared by [`crate::DeploymentBuilder`], which builds one
+/// [`System`] per edge.
+///
+/// ```no_run
+/// use erpd_edge::{Strategy, System, SystemConfig, WireTransport};
+/// use erpd_sim::{Scenario, ScenarioConfig};
+///
+/// let s = Scenario::build(ScenarioConfig::default());
+/// let sys = System::builder(SystemConfig::new(Strategy::Ours))
+///     .transport(Box::new(WireTransport::new()))
+///     .build(&s.world);
+/// assert_eq!(sys.transport_name(), "wire");
+/// ```
+#[derive(Debug)]
+pub struct SystemBuilder {
+    config: SystemConfig,
+    pipeline: Option<PipelineBuilder>,
+    transport: Option<Box<dyn Transport>>,
+}
+
+impl SystemBuilder {
+    /// Replaces the stage graph the system's server and dissemination
+    /// stages are built from — swap any stage while keeping the frame
+    /// loop, fault layer, and alert delivery identical. When a pipeline is
+    /// set, `build`'s world is not consulted for the map (the pipeline
+    /// carries its own). The V2V strategy's per-vehicle on-board pipelines
+    /// always use the default stages.
+    pub fn pipeline(mut self, pipeline: PipelineBuilder) -> Self {
+        self.pipeline = Some(pipeline);
+        self
+    }
+
+    /// Replaces the carrier the edge path routes uploads and plans
+    /// through. The default [`LoopbackTransport`] passes values untouched
+    /// (bit-identical to calling the serving core directly); a
+    /// [`crate::WireTransport`] round-trips every message through the v1
+    /// wire codec in process; a [`crate::TcpTransport`] serves remotely.
+    pub fn transport(mut self, transport: Box<dyn Transport>) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
+    /// Builds the system, defaulting any unset part: the pipeline from the
+    /// world's map, the transport to loopback.
+    pub fn build(self, world: &World) -> System {
+        let config = self.config;
+        let pipeline = self
+            .pipeline
+            .unwrap_or_else(|| PipelineBuilder::new(config.server, world.map.clone()));
+        let mut system = System::assemble(config, pipeline);
+        if let Some(transport) = self.transport {
+            system.transport = transport;
+        }
+        system
+    }
+}
+
 /// The running system: vehicle-side state plus the edge server.
 #[derive(Debug)]
 pub struct System {
@@ -262,6 +326,10 @@ pub struct System {
     /// rotation lives inside [`RoundRobinDissemination`]).
     rr_offset: usize,
     last_server_frame: ServerFrame,
+    /// The dissemination plan of the last edge-path frame (what the
+    /// downlink actually carried) — [`crate::Deployment`] reads it to
+    /// deduplicate dual-report assignments across edges.
+    last_plan: DisseminationPlan,
     /// Frame counter: the per-frame coordinate of every fault draw.
     frame_index: u64,
     /// Vehicles currently dropped out of coverage by churn.
@@ -271,22 +339,21 @@ pub struct System {
 }
 
 impl System {
-    /// Creates a system bound to a world's map, with the default stage
-    /// graph for the configured strategy.
-    pub fn new(config: SystemConfig, world: &World) -> Self {
-        System::with_pipeline(
+    /// Starts building a system: `System::builder(config)` then optional
+    /// [`SystemBuilder::pipeline`] / [`SystemBuilder::transport`], then
+    /// [`SystemBuilder::build`] against the world.
+    pub fn builder(config: SystemConfig) -> SystemBuilder {
+        SystemBuilder {
             config,
-            PipelineBuilder::new(config.server, world.map.clone()),
-        )
+            pipeline: None,
+            transport: None,
+        }
     }
 
-    /// Creates a system whose server and dissemination stages come from a
-    /// custom [`PipelineBuilder`] — swap any stage while keeping the frame
-    /// loop, fault layer, and alert delivery identical. A dissemination
-    /// stage left unset defaults per strategy ([`default_dissemination`]);
-    /// note the V2V strategy's per-vehicle on-board pipelines always use
-    /// the default stages.
-    pub fn with_pipeline(config: SystemConfig, pipeline: PipelineBuilder) -> Self {
+    /// Assembles the system around a concrete stage graph. A dissemination
+    /// stage left unset in the pipeline defaults per strategy
+    /// ([`default_dissemination`]).
+    fn assemble(config: SystemConfig, pipeline: PipelineBuilder) -> Self {
         let (server, disseminate) =
             pipeline.build_with_default(|| default_dissemination(config.strategy));
         System {
@@ -298,17 +365,36 @@ impl System {
             v2v_servers: BTreeMap::new(),
             rr_offset: 0,
             last_server_frame: ServerFrame::default(),
+            last_plan: DisseminationPlan::default(),
             frame_index: 0,
             outages: BTreeSet::new(),
             deferred: Vec::new(),
         }
     }
 
+    /// Creates a system bound to a world's map, with the default stage
+    /// graph for the configured strategy.
+    #[deprecated(since = "0.1.0", note = "use `System::builder(config).build(world)`")]
+    pub fn new(config: SystemConfig, world: &World) -> Self {
+        System::builder(config).build(world)
+    }
+
+    /// Creates a system whose server and dissemination stages come from a
+    /// custom [`PipelineBuilder`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `System::builder(config).pipeline(pipeline).build(world)`"
+    )]
+    pub fn with_pipeline(config: SystemConfig, pipeline: PipelineBuilder) -> Self {
+        System::assemble(config, pipeline)
+    }
+
     /// Replaces the transport the edge path routes uploads and plans
-    /// through. The default [`LoopbackTransport`] passes values untouched
-    /// (bit-identical to calling the serving core directly); a
-    /// [`crate::WireTransport`] round-trips every message through the v1
-    /// wire codec in process.
+    /// through.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `.transport(transport)` on `System::builder`"
+    )]
     pub fn with_transport(mut self, transport: Box<dyn Transport>) -> Self {
         self.transport = transport;
         self
@@ -334,12 +420,65 @@ impl System {
         &self.outages
     }
 
+    /// The configuration the system was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The dissemination plan of the last edge-path frame.
+    pub fn last_plan(&self) -> &DisseminationPlan {
+        &self.last_plan
+    }
+
+    /// Extracts everything this edge knows about a departing vehicle —
+    /// pose history, nearby tracks, EMP rotation state, outage flag — and
+    /// forgets the parts that must not linger: the outage entry and any
+    /// jitter-deferred upload (a late packet addressed to the old edge is
+    /// lost, not teleported). The vehicle-side state travels out of band
+    /// via [`System::take_vehicle_side`] (it never crosses the wire).
+    pub(crate) fn export_vehicle(&mut self, vehicle_id: u64) -> VehicleHandover {
+        let mut handover = self.core.export_handover(vehicle_id);
+        handover.in_outage = self.outages.remove(&vehicle_id);
+        self.deferred.retain(|u| u.vehicle_id != vehicle_id);
+        handover
+    }
+
+    /// Adopts a handover exported by another edge: offers it to every
+    /// stage of the serving core and takes over the churn state.
+    pub(crate) fn import_vehicle(&mut self, handover: &VehicleHandover) {
+        self.core.import_handover(handover);
+        if handover.in_outage {
+            self.outages.insert(handover.vehicle_id);
+        } else {
+            self.outages.remove(&handover.vehicle_id);
+        }
+    }
+
+    /// Removes the vehicle-side processing state for a departing vehicle
+    /// (handed to the next edge out of band — it lives on the vehicle, not
+    /// the edge, so it never crosses the inter-edge wire).
+    pub(crate) fn take_vehicle_side(&mut self, vehicle_id: u64) -> Option<VehicleSide> {
+        self.vehicle_sides.remove(&vehicle_id)
+    }
+
+    /// Installs vehicle-side state for an arriving vehicle, replacing any
+    /// ghost state a dual-report upload may have created here.
+    pub(crate) fn put_vehicle_side(&mut self, vehicle_id: u64, side: VehicleSide) {
+        self.vehicle_sides.insert(vehicle_id, side);
+    }
+
     /// Runs the fault layer over one frame of uploads: decides each
     /// upload's channel outcome and tallies the link statistics. Advances
     /// the churn state machine in `self.outages`. With the default (ideal)
     /// [`crate::FaultModel`] every upload is `Deliver` and the byte/time tallies
     /// are bit-identical to the pre-fault pipeline.
-    fn plan_faults(&mut self, uploads: &[Upload]) -> LinkPlan {
+    ///
+    /// Uploads at index `n_primary` onward are dual-report ghosts: the
+    /// same physical transmission is accounted to its owning edge, so a
+    /// ghost gets a channel outcome (fault draws are pure functions of
+    /// `(seed, frame, vehicle)`, identical on every edge) but contributes
+    /// nothing to this edge's byte, time, or loss tallies.
+    fn plan_faults(&mut self, uploads: &[Upload], n_primary: usize) -> LinkPlan {
         let network = &self.config.network;
         let fault = &network.fault;
         let frame = self.frame_index;
@@ -351,8 +490,9 @@ impl System {
             late: 0,
             truncated: 0,
         };
-        for u in uploads {
+        for (i, u) in uploads.iter().enumerate() {
             let v = u.vehicle_id;
+            let primary = i < n_primary;
             // Churn state machine: a vehicle in outage transmits nothing
             // until its reconnect draw succeeds; a connected vehicle may
             // drop out this frame.
@@ -361,7 +501,9 @@ impl System {
                     self.outages.remove(&v);
                 } else {
                     plan.outcomes.push(LinkOutcome::Lost);
-                    plan.lost += 1;
+                    if primary {
+                        plan.lost += 1;
+                    }
                     continue;
                 }
             } else if fault.churn_prob > 0.0
@@ -369,7 +511,9 @@ impl System {
             {
                 self.outages.insert(v);
                 plan.outcomes.push(LinkOutcome::Lost);
-                plan.lost += 1;
+                if primary {
+                    plan.lost += 1;
+                }
                 continue;
             }
             // From here on the vehicle transmits: its bytes hit the air and
@@ -378,34 +522,42 @@ impl System {
             let tx = network.uplink_time(u.bytes) + delay;
             if fault.loss_prob > 0.0 && fault.uniform(frame, v, FaultStream::Loss) < fault.loss_prob
             {
-                plan.upload_bytes.push(u.bytes);
-                plan.upload_tx = plan.upload_tx.max(tx);
+                if primary {
+                    plan.upload_bytes.push(u.bytes);
+                    plan.upload_tx = plan.upload_tx.max(tx);
+                    plan.lost += 1;
+                }
                 plan.outcomes.push(LinkOutcome::Lost);
-                plan.lost += 1;
                 continue;
             }
             // Jitter-induced lateness: only an active jitter model can push
             // an upload past the frame boundary (large ideal uploads keep
             // the seed's same-frame semantics).
             if fault.jitter > 0.0 && tx > network.frame_period {
-                plan.upload_bytes.push(u.bytes);
-                plan.upload_tx = plan.upload_tx.max(tx);
+                if primary {
+                    plan.upload_bytes.push(u.bytes);
+                    plan.upload_tx = plan.upload_tx.max(tx);
+                    plan.late += 1;
+                }
                 plan.outcomes.push(LinkOutcome::Late);
-                plan.late += 1;
                 continue;
             }
             if fault.truncate_prob > 0.0
                 && fault.uniform(frame, v, FaultStream::Truncate) < fault.truncate_prob
             {
-                let kept = (u.bytes as f64 * fault.truncate_keep).ceil() as u64;
-                plan.upload_bytes.push(kept);
-                plan.upload_tx = plan.upload_tx.max(network.uplink_time(kept) + delay);
+                if primary {
+                    let kept = (u.bytes as f64 * fault.truncate_keep).ceil() as u64;
+                    plan.upload_bytes.push(kept);
+                    plan.upload_tx = plan.upload_tx.max(network.uplink_time(kept) + delay);
+                    plan.truncated += 1;
+                }
                 plan.outcomes.push(LinkOutcome::Truncate);
-                plan.truncated += 1;
                 continue;
             }
-            plan.upload_bytes.push(u.bytes);
-            plan.upload_tx = plan.upload_tx.max(tx);
+            if primary {
+                plan.upload_bytes.push(u.bytes);
+                plan.upload_tx = plan.upload_tx.max(tx);
+            }
             plan.outcomes.push(LinkOutcome::Deliver);
         }
         plan
@@ -424,9 +576,31 @@ impl System {
         if self.dispatch == Dispatch::Passive {
             return Ok(FrameReport::default());
         }
+        let frames = world.scan_connected();
+        let n_primary = frames.len();
+        self.tick_frames(world, frames, n_primary)
+    }
+
+    /// Runs one frame over an explicit set of scanned frames — the seam
+    /// [`crate::Deployment`] drives after routing each vehicle's scan to
+    /// its covering edge. Frames at index `n_primary` onward are
+    /// dual-report ghosts: they are processed (so this edge sees the
+    /// boundary vehicle and can serve it) but are excluded from the
+    /// expected/delivered upload accounting, never deferred when late, and
+    /// never tallied on this edge's uplink — the owning edge counts the
+    /// physical transmission. With `n_primary == frames.len()` this is
+    /// exactly [`System::tick`] after its scan, bit for bit.
+    pub(crate) fn tick_frames(
+        &mut self,
+        world: &mut World,
+        frames: Vec<LidarFrame>,
+        n_primary: usize,
+    ) -> Result<FrameReport, Error> {
+        if self.dispatch == Dispatch::Passive {
+            return Ok(FrameReport::default());
+        }
         let network = self.config.network;
         network.fault.validate()?;
-        let frames = world.scan_connected();
         let connected_positions: Vec<(u64, Vec2)> = frames
             .iter()
             .map(|f| (f.vehicle_id, f.sensor_pose.position))
@@ -467,7 +641,7 @@ impl System {
         let extraction_stage = StageSample::new(extraction, clustered);
 
         // --- The channel: every upload runs through the fault layer. ---
-        let plan = self.plan_faults(&uploads);
+        let plan = self.plan_faults(&uploads, n_primary);
         self.frame_index += 1;
 
         if self.dispatch == Dispatch::V2v {
@@ -477,7 +651,9 @@ impl System {
         // Arrivals: last frame's deferred (late) uploads first — oldest
         // data is processed first — unless a fresher upload from the same
         // vehicle arrives this frame and supersedes it; then this frame's
-        // deliveries, truncated where the channel clipped them.
+        // deliveries, truncated where the channel clipped them. Ghost
+        // arrivals reach the server (that is the point of dual reporting)
+        // but stay out of this edge's delivery count.
         let keep = network.fault.truncate_keep;
         let fresh: BTreeSet<u64> = uploads
             .iter()
@@ -489,18 +665,36 @@ impl System {
             .into_iter()
             .filter(|u| !fresh.contains(&u.vehicle_id))
             .collect();
-        for (u, outcome) in uploads.into_iter().zip(&plan.outcomes) {
+        let mut ghost_arrivals = 0usize;
+        for (i, (u, outcome)) in uploads.into_iter().zip(&plan.outcomes).enumerate() {
+            let ghost = i >= n_primary;
             match outcome {
-                LinkOutcome::Deliver => arrivals.push(u),
+                LinkOutcome::Deliver => {
+                    ghost_arrivals += ghost as usize;
+                    arrivals.push(u);
+                }
                 // A truncation that clips into the frame header destroys
                 // the upload entirely — it never becomes an arrival.
-                LinkOutcome::Truncate => arrivals.extend(truncate_upload(&u, keep)),
-                LinkOutcome::Late => self.deferred.push(u),
+                LinkOutcome::Truncate => {
+                    if let Some(t) = truncate_upload(&u, keep) {
+                        ghost_arrivals += ghost as usize;
+                        arrivals.push(t);
+                    }
+                }
+                // A late ghost is simply dropped: next frame the vehicle is
+                // either owned here (its late primary would have been
+                // deferred by its old edge and discarded at handover) or
+                // ghost-reported afresh.
+                LinkOutcome::Late => {
+                    if !ghost {
+                        self.deferred.push(u);
+                    }
+                }
                 LinkOutcome::Lost => {}
             }
         }
-        let expected_uploads = plan.outcomes.len();
-        let delivered_uploads = arrivals.len();
+        let expected_uploads = n_primary;
+        let delivered_uploads = arrivals.len() - ghost_arrivals;
 
         // --- Transport: arrivals travel to the serving core over the
         // configured carrier (loopback by default — identity) and the
@@ -583,6 +777,7 @@ impl System {
             stages,
         };
         self.last_server_frame = sf;
+        self.last_plan = dplan;
         Ok(report)
     }
 
@@ -772,7 +967,7 @@ mod tests {
     #[test]
     fn single_never_alerts_and_collides() {
         let mut s = scenario(ScenarioKind::UnprotectedLeftTurn, 1);
-        let mut sys = System::new(SystemConfig::new(Strategy::Single), &s.world);
+        let mut sys = System::builder(SystemConfig::new(Strategy::Single)).build(&s.world);
         for _ in 0..150 {
             let r = sys.tick(&mut s.world).unwrap();
             assert!(r.alerted.is_empty());
@@ -784,7 +979,7 @@ mod tests {
     #[test]
     fn ours_prevents_left_turn_collision() {
         let mut s = scenario(ScenarioKind::UnprotectedLeftTurn, 1);
-        let mut sys = System::new(SystemConfig::new(Strategy::Ours), &s.world);
+        let mut sys = System::builder(SystemConfig::new(Strategy::Ours)).build(&s.world);
         let mut ever_alerted_ego = false;
         for _ in 0..180 {
             let r = sys.tick(&mut s.world).unwrap();
@@ -800,7 +995,7 @@ mod tests {
     #[test]
     fn ours_prevents_red_light_collision() {
         let mut s = scenario(ScenarioKind::RedLightViolation, 2);
-        let mut sys = System::new(SystemConfig::new(Strategy::Ours), &s.world);
+        let mut sys = System::builder(SystemConfig::new(Strategy::Ours)).build(&s.world);
         for _ in 0..180 {
             sys.tick(&mut s.world).unwrap();
             s.world.step();
@@ -812,8 +1007,8 @@ mod tests {
     fn unlimited_also_prevents_but_costs_more() {
         let mut s_ours = scenario(ScenarioKind::UnprotectedLeftTurn, 3);
         let mut s_unl = scenario(ScenarioKind::UnprotectedLeftTurn, 3);
-        let mut ours = System::new(SystemConfig::new(Strategy::Ours), &s_ours.world);
-        let mut unl = System::new(SystemConfig::new(Strategy::Unlimited), &s_unl.world);
+        let mut ours = System::builder(SystemConfig::new(Strategy::Ours)).build(&s_ours.world);
+        let mut unl = System::builder(SystemConfig::new(Strategy::Unlimited)).build(&s_unl.world);
         let mut bytes_ours = 0u64;
         let mut bytes_unl = 0u64;
         for _ in 0..150 {
@@ -833,7 +1028,7 @@ mod tests {
     #[test]
     fn demo_disseminates_pedestrian_to_ego_not_bystander() {
         let mut s = scenario(ScenarioKind::OccludedPedestrian, 0);
-        let mut sys = System::new(SystemConfig::new(Strategy::Ours), &s.world);
+        let mut sys = System::builder(SystemConfig::new(Strategy::Ours)).build(&s.world);
         let bystander = s.bystander.unwrap();
         let mut ego_alerted = false;
         for _ in 0..160 {
@@ -854,7 +1049,7 @@ mod tests {
     #[test]
     fn v2v_prevents_the_left_turn_collision_without_a_server() {
         let mut s = scenario(ScenarioKind::UnprotectedLeftTurn, 1);
-        let mut sys = System::new(SystemConfig::new(Strategy::V2v), &s.world);
+        let mut sys = System::builder(SystemConfig::new(Strategy::V2v)).build(&s.world);
         let mut broadcast_bytes = 0u64;
         for _ in 0..180 {
             let r = sys.tick(&mut s.world).unwrap();
@@ -880,7 +1075,7 @@ mod tests {
             .with_seed(5);
         let cfg = SystemConfig::new(Strategy::Ours)
             .with_network(NetworkConfig::default().with_fault(fault));
-        let mut sys = System::new(cfg, &s.world);
+        let mut sys = System::builder(cfg).build(&s.world);
         let mut seen_out = BTreeSet::new();
         let mut ever_back = false;
         let mut lost = 0usize;
@@ -904,7 +1099,7 @@ mod tests {
             let mut s = scenario(ScenarioKind::UnprotectedLeftTurn, 1);
             let cfg = SystemConfig::new(Strategy::Ours)
                 .with_network(NetworkConfig::default().with_fault(fault));
-            let mut sys = System::new(cfg, &s.world);
+            let mut sys = System::builder(cfg).build(&s.world);
             let mut bytes = 0u64;
             let mut truncated = 0usize;
             for _ in 0..40 {
@@ -937,7 +1132,7 @@ mod tests {
         let fault = FaultModel::default().with_jitter(0.2).with_seed(2);
         let cfg = SystemConfig::new(Strategy::Ours)
             .with_network(NetworkConfig::default().with_fault(fault));
-        let mut sys = System::new(cfg, &s.world);
+        let mut sys = System::builder(cfg).build(&s.world);
         let mut late = 0usize;
         let mut expected = 0usize;
         let mut delivered = 0usize;
@@ -960,7 +1155,7 @@ mod tests {
         // per-stage samples, so they must match to the last bit — no
         // tolerance, no separate clocks.
         let mut s = scenario(ScenarioKind::UnprotectedLeftTurn, 7);
-        let mut sys = System::new(SystemConfig::new(Strategy::Ours), &s.world);
+        let mut sys = System::builder(SystemConfig::new(Strategy::Ours)).build(&s.world);
         for _ in 0..10 {
             let r = sys.tick(&mut s.world).unwrap();
             assert_eq!(r.times.extraction, r.stages.extraction.seconds);
@@ -979,7 +1174,7 @@ mod tests {
     #[test]
     fn module_times_are_recorded() {
         let mut s = scenario(ScenarioKind::UnprotectedLeftTurn, 4);
-        let mut sys = System::new(SystemConfig::new(Strategy::Ours), &s.world);
+        let mut sys = System::builder(SystemConfig::new(Strategy::Ours)).build(&s.world);
         // Step a few frames so the pipeline is warm.
         let mut r = FrameReport::default();
         for _ in 0..5 {

@@ -39,8 +39,13 @@ use std::time::{Duration, Instant};
 /// a client calls `send_upload`/`recv_plans`, the daemon's connection
 /// handler calls `recv_uploads`/`send_plan`.
 pub trait Transport: fmt::Debug + Send {
-    /// Diagnostic name ("loopback", "wire", "tcp").
-    fn name(&self) -> &'static str;
+    /// Diagnostic name ("loopback", "wire", "tcp"). Defaults to
+    /// `"custom"`, so third-party transports only implement the four
+    /// channel methods and [`crate::System::transport_name`] needs no
+    /// special cases.
+    fn name(&self) -> &'static str {
+        "custom"
+    }
 
     /// Queues one upload on the vehicle→server direction. `frame` is the
     /// sender's frame counter, echoed back in plan acks.
@@ -375,6 +380,24 @@ impl ServingCore {
         let cx = FrameCx { now, uploads };
         let planned = self.disseminate.run(&cx, PlanRequest { frame: &sf, budget })?;
         Ok((sf, planned))
+    }
+
+    /// Exports this core's state about a departing vehicle into a
+    /// [`erpd_core::VehicleHandover`]: every server stage plus the
+    /// dissemination stage contributes its share (tracks + pose history
+    /// from tracking, the EMP rotation offset from round robin).
+    pub fn export_handover(&mut self, vehicle_id: u64) -> erpd_core::VehicleHandover {
+        let mut handover = erpd_core::VehicleHandover::new(vehicle_id);
+        self.server.export_handover(&mut handover);
+        self.disseminate.export_handover(&mut handover);
+        handover
+    }
+
+    /// Imports a handover exported by another core, offering it to every
+    /// stage.
+    pub fn import_handover(&mut self, handover: &erpd_core::VehicleHandover) {
+        self.server.import_handover(handover);
+        self.disseminate.import_handover(handover);
     }
 }
 

@@ -18,6 +18,7 @@
 //! | 2 | [`WireMessage::Upload`] | `frame u64 \| vehicle_id u64 \| pose x,y,heading 3×f64 \| bytes u64 \| processing_time f64 \| clustered_points u64 \| n_objects u32` then per object `centroid x,y 2×f64 \| cloud_len u32 \| cloud` |
 //! | 3 | [`WireMessage::Plan`] | `frame u64 \| n_acks u32 \| (vehicle u64, client_frame u64)*` then the plan encoding of [`DisseminationPlan::encode_into`] |
 //! | 4 | [`WireMessage::Bye`] | empty |
+//! | 5 | [`WireMessage::Handover`] | the handover encoding of [`VehicleHandover::encode_into`] |
 //!
 //! Object point clouds ride as the quantised
 //! [`erpd_pointcloud::compress`] format, so a decoded upload's coordinates
@@ -32,7 +33,7 @@
 //! real link does and decodes the surviving prefix.
 
 use crate::{Upload, UploadedObject};
-use erpd_core::{DisseminationPlan, Error};
+use erpd_core::{DisseminationPlan, Error, VehicleHandover};
 use erpd_geometry::{Pose2, Vec2};
 use erpd_pointcloud::{compress, decompress, DecodeError};
 use std::io::{self, Read, Write};
@@ -54,6 +55,7 @@ const KIND_HELLO: u8 = 1;
 const KIND_UPLOAD: u8 = 2;
 const KIND_PLAN: u8 = 3;
 const KIND_BYE: u8 = 4;
+const KIND_HANDOVER: u8 = 5;
 
 /// One message of the vehicle↔edge wire protocol.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +86,14 @@ pub enum WireMessage {
     },
     /// Clean session close.
     Bye,
+    /// Edge-to-edge track transfer: everything the losing edge knows about
+    /// a vehicle crossing a region boundary. Rides the same framed codec
+    /// as vehicle traffic so a multi-edge deployment stays
+    /// carrier-independent (loopback, in-process wire, or TCP).
+    Handover {
+        /// The transferred state.
+        handover: VehicleHandover,
+    },
 }
 
 fn codec(reason: &'static str) -> Error {
@@ -224,6 +234,7 @@ impl WireMessage {
             WireMessage::Upload { .. } => KIND_UPLOAD,
             WireMessage::Plan { .. } => KIND_PLAN,
             WireMessage::Bye => KIND_BYE,
+            WireMessage::Handover { .. } => KIND_HANDOVER,
         }
     }
 
@@ -247,6 +258,9 @@ impl WireMessage {
                 plan.encode_into(&mut payload);
             }
             WireMessage::Bye => {}
+            WireMessage::Handover { handover } => {
+                handover.encode_into(&mut payload);
+            }
         }
         let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
         out.extend_from_slice(&WIRE_MAGIC);
@@ -328,6 +342,13 @@ impl WireMessage {
                     return Err(codec("bye payload must be empty"));
                 }
                 WireMessage::Bye
+            }
+            KIND_HANDOVER => {
+                let (handover, used) = VehicleHandover::decode_from(payload)?;
+                if used != payload.len() {
+                    return Err(codec("handover payload has trailing bytes"));
+                }
+                WireMessage::Handover { handover }
             }
             _ => return Err(codec("unknown wire message kind")),
         };
@@ -485,6 +506,42 @@ mod tests {
             assert_eq!(used, bytes.len());
             assert_eq!(decoded, msg);
         }
+    }
+
+    #[test]
+    fn handover_round_trips_exactly() {
+        use erpd_core::{PoseSample, TrackSnapshot};
+        use erpd_tracking::ObjectKind;
+        let msg = WireMessage::Handover {
+            handover: VehicleHandover {
+                vehicle_id: 3,
+                position: Vec2::new(55.0, -3.5),
+                in_outage: true,
+                rr_offset: 11,
+                pose_history: vec![PoseSample {
+                    t: 1.5,
+                    position: Vec2::new(54.0, -3.5),
+                    heading: 0.0,
+                }],
+                tracks: vec![TrackSnapshot {
+                    id: (2u64 << 32) + 4,
+                    kind: ObjectKind::Pedestrian,
+                    misses: 1,
+                    bytes: 800,
+                    history: vec![(1.5, Vec2::new(50.0, 2.0))],
+                }],
+            },
+        };
+        let bytes = msg.encode();
+        let (decoded, used) = WireMessage::decode(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded, msg);
+        // Trailing payload bytes are corrupt, not silently ignored.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        let extra = (padded.len() - FRAME_HEADER_BYTES) as u32;
+        padded[6..10].copy_from_slice(&extra.to_le_bytes());
+        assert!(WireMessage::decode(&padded).is_err());
     }
 
     #[test]

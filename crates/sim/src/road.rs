@@ -1,0 +1,266 @@
+//! A city-scale road network: a grid (or corridor) of signalised
+//! intersections connected by straight road links, with through-routes
+//! spanning several intersections.
+//!
+//! The single-intersection [`IntersectionMap`] stays the unit of HD-map
+//! geometry — the network replicates it on a regular lattice and knows how
+//! to build [`Route`]s that pass through consecutive intersections, which
+//! is what a multi-edge deployment needs: vehicles that genuinely travel
+//! from one edge server's coverage area into the next.
+//!
+//! Conventions:
+//! * intersection 0 sits at the world origin (so a 1×1 network is exactly
+//!   the classic single-intersection world);
+//! * intersections are indexed row-major: `k = row * cols + col`;
+//! * the coverage cell of intersection `k` is the axis-aligned square of
+//!   side `spacing` centred on it — cells tile the plane with no gaps
+//!   along the lattice.
+
+use crate::map::{Approach, IntersectionMap, Route, RouteSpec, Turn};
+use erpd_geometry::{Polyline2, Vec2};
+
+/// A regular lattice of intersections joined by straight links.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoadNetwork {
+    map: IntersectionMap,
+    cols: usize,
+    rows: usize,
+    spacing: f64,
+}
+
+impl RoadNetwork {
+    /// A `cols × rows` grid with centre-to-centre `spacing` metres,
+    /// replicating the default [`IntersectionMap`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero dimension, or when the spacing is too small for
+    /// two copies of the map geometry to fit between neighbouring centres
+    /// (a route through one intersection would overlap the next).
+    pub fn grid(cols: usize, rows: usize, spacing: f64) -> Self {
+        let map = IntersectionMap::default();
+        assert!(cols >= 1 && rows >= 1, "network needs at least one intersection");
+        assert!(
+            cols * rows == 1 || spacing >= 2.0 * map.half_size(),
+            "spacing must clear the intersection boxes"
+        );
+        RoadNetwork { map, cols, rows, spacing }
+    }
+
+    /// A 1-row corridor of `n` intersections (the arterial-road case).
+    pub fn corridor(n: usize, spacing: f64) -> Self {
+        RoadNetwork::grid(n, 1, spacing)
+    }
+
+    /// Replaces the per-intersection map template.
+    pub fn with_map(mut self, map: IntersectionMap) -> Self {
+        self.map = map;
+        self
+    }
+
+    /// The per-intersection map template.
+    pub fn map(&self) -> &IntersectionMap {
+        &self.map
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Centre-to-centre spacing, metres.
+    pub fn spacing(&self) -> f64 {
+        self.spacing
+    }
+
+    /// Number of intersections.
+    pub fn len(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// False: a network always has at least one intersection.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Centre of intersection `k` (row-major; intersection 0 at the
+    /// origin).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is out of range.
+    pub fn center(&self, k: usize) -> Vec2 {
+        assert!(k < self.len(), "intersection index out of range");
+        let col = k % self.cols;
+        let row = k / self.cols;
+        Vec2::new(col as f64 * self.spacing, row as f64 * self.spacing)
+    }
+
+    /// The coverage cell of intersection `k` as `(min, max)` corners: the
+    /// axis-aligned square of side `spacing` centred on it. Neighbouring
+    /// cells share their boundary, so an edge server per cell tiles the
+    /// network without gaps.
+    pub fn cell(&self, k: usize) -> (Vec2, Vec2) {
+        let c = self.center(k);
+        let h = self.spacing / 2.0;
+        (Vec2::new(c.x - h, c.y - h), Vec2::new(c.x + h, c.y + h))
+    }
+
+    /// The intersection whose centre is nearest to a position (lowest
+    /// index on ties) — the network-level "which cell am I in" lookup.
+    pub fn nearest(&self, position: Vec2) -> usize {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for k in 0..self.len() {
+            let d = self.center(k).distance(position);
+            if d < best_d {
+                best_d = d;
+                best = k;
+            }
+        }
+        best
+    }
+
+    /// A through-route spanning every intersection of row `row`, west to
+    /// east on incoming lane `lane`: enter the first intersection from its
+    /// west arm, continue straight through each intersection in the row,
+    /// and exit past the last one. The stop line is the first
+    /// intersection's; the route leaves the final intersection box at
+    /// `exit_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row or lane is out of range.
+    pub fn through_route_east(&self, row: usize, lane: usize) -> Route {
+        assert!(row < self.rows, "row out of range");
+        self.through_route(Approach::East, row, lane)
+    }
+
+    /// A through-route spanning every intersection of column `col`, south
+    /// to north on incoming lane `lane` (the grid counterpart of
+    /// [`RoadNetwork::through_route_east`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the column or lane is out of range.
+    pub fn through_route_north(&self, col: usize, lane: usize) -> Route {
+        assert!(col < self.cols, "column out of range");
+        self.through_route(Approach::North, col, lane)
+    }
+
+    /// Builds a straight multi-intersection route along one lattice line.
+    /// `line` is the row (east) or column (north) index.
+    fn through_route(&self, approach: Approach, line: usize, lane: usize) -> Route {
+        assert!(lane < self.map.lanes_per_dir(), "lane out of range");
+        let spec = RouteSpec { approach, lane, turn: Turn::Straight };
+        // The single-intersection straight route in the canonical frame of
+        // the first intersection on the line.
+        let single = self.map.route(spec);
+        let first = *single.path.points().first().expect("route has points");
+        let last = *single.path.points().last().expect("route has points");
+        let along = match approach {
+            Approach::East => Vec2::new(1.0, 0.0),
+            Approach::North => Vec2::new(0.0, 1.0),
+            _ => unreachable!("through routes run east or north"),
+        };
+        let n_span = match approach {
+            Approach::East => self.cols,
+            _ => self.rows,
+        };
+        let origin = match approach {
+            Approach::East => self.center(line * self.cols),
+            _ => self.center(line),
+        };
+        let start = origin + first;
+        let end = origin + last + along * (self.spacing * (n_span - 1) as f64);
+        let path = Polyline2::new(vec![start, end]).expect("two distinct points");
+        // The stop line stays the first intersection's; the route has
+        // fully exited the network once past the last intersection box.
+        let exit_s = single.stop_line_s
+            + 2.0 * self.map.half_size()
+            + self.spacing * (n_span - 1) as f64;
+        Route {
+            spec,
+            path,
+            stop_line_s: single.stop_line_s,
+            exit_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cell_network_is_the_classic_world() {
+        let n = RoadNetwork::grid(1, 1, 300.0);
+        assert_eq!(n.len(), 1);
+        assert_eq!(n.center(0), Vec2::ZERO);
+        let r = n.through_route_east(0, 0);
+        let classic = n.map().route(RouteSpec {
+            approach: Approach::East,
+            lane: 0,
+            turn: Turn::Straight,
+        });
+        assert!((r.path.length() - classic.path.length()).abs() < 1e-9);
+        assert!((r.stop_line_s - classic.stop_line_s).abs() < 1e-9);
+        assert!((r.exit_s - classic.exit_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corridor_route_spans_every_intersection() {
+        let n = RoadNetwork::corridor(4, 300.0);
+        let r = n.through_route_east(0, 1);
+        // Length: single-route length plus the three extra links.
+        let single = n.map().route(r.spec);
+        assert!((r.path.length() - single.path.length() - 3.0 * 300.0).abs() < 1e-9);
+        // The route passes within a lane width of every centre.
+        for k in 0..n.len() {
+            let c = n.center(k);
+            let (_, lat) = r.path.project(c);
+            assert!(lat < 2.0 * n.map().lane_width(), "misses intersection {k}");
+        }
+        assert!(r.exit_s > r.stop_line_s);
+    }
+
+    #[test]
+    fn grid_centers_cells_and_nearest_agree() {
+        let n = RoadNetwork::grid(3, 2, 250.0);
+        assert_eq!(n.len(), 6);
+        assert_eq!(n.center(4), Vec2::new(250.0, 250.0)); // row 1, col 1
+        for k in 0..n.len() {
+            let (lo, hi) = n.cell(k);
+            let c = n.center(k);
+            assert!((hi.x - lo.x - 250.0).abs() < 1e-9);
+            assert!(lo.x < c.x && c.x < hi.x && lo.y < c.y && c.y < hi.y);
+            assert_eq!(n.nearest(c), k);
+        }
+        // A point nudged toward a neighbour flips ownership.
+        assert_eq!(n.nearest(Vec2::new(130.0, 0.0)), 1);
+        assert_eq!(n.nearest(Vec2::new(120.0, 0.0)), 0);
+    }
+
+    #[test]
+    fn north_route_climbs_a_column() {
+        let n = RoadNetwork::grid(2, 3, 300.0);
+        let r = n.through_route_north(1, 0);
+        let pts = r.path.points();
+        assert!(pts.first().unwrap().y < pts.last().unwrap().y);
+        // Column 1 sits at x = 300 (plus the lane offset).
+        for p in pts {
+            assert!((p.x - 300.0).abs() < 2.0 * n.map().lane_width());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "spacing must clear")]
+    fn tight_spacing_rejected() {
+        RoadNetwork::grid(2, 1, 10.0);
+    }
+}

@@ -76,6 +76,31 @@ impl Track {
         self.history.len()
     }
 
+    /// The stored observation history, oldest first.
+    pub fn history(&self) -> impl Iterator<Item = (f64, Vec2)> + '_ {
+        self.history.iter().copied()
+    }
+
+    /// Rebuilds a track from a snapshotted history (oldest first), e.g.
+    /// one carried by a cross-edge handover message. Returns `None` for an
+    /// empty history — a track always has at least one observation.
+    pub fn from_history(
+        id: ObjectId,
+        kind: ObjectKind,
+        misses: usize,
+        history: &[(f64, Vec2)],
+    ) -> Option<Self> {
+        if history.is_empty() {
+            return None;
+        }
+        Some(Track {
+            id,
+            kind,
+            history: history.iter().copied().collect(),
+            misses,
+        })
+    }
+
     /// Velocity estimate from the stored history (least-squares slope over
     /// the window), or zero for a single observation.
     pub fn velocity(&self) -> Vec2 {
@@ -194,10 +219,19 @@ pub struct Tracker {
 impl Tracker {
     /// Creates a tracker.
     pub fn new(config: TrackerConfig) -> Self {
+        Tracker::with_id_base(config, 0)
+    }
+
+    /// Creates a tracker whose fresh track ids start at `base`. In a
+    /// multi-edge deployment each edge gets a disjoint id namespace (e.g.
+    /// `edge_index << 32`), so a track handed over from another edge can
+    /// never collide with a locally created one. `base == 0` is exactly
+    /// [`Tracker::new`].
+    pub fn with_id_base(config: TrackerConfig, base: u64) -> Self {
         Tracker {
             config,
             tracks: Vec::new(),
-            next_id: 0,
+            next_id: base,
             last_time: None,
         }
     }
@@ -211,6 +245,24 @@ impl Tracker {
     /// Looks up a track by id.
     pub fn track(&self, id: ObjectId) -> Option<&Track> {
         self.tracks.iter().find(|t| t.id == id)
+    }
+
+    /// Adopts a track handed over from another tracker, keeping its
+    /// identity: an existing track with the same id is replaced (the
+    /// incoming snapshot is fresher), otherwise the track is appended in
+    /// creation order. The caller is responsible for id-namespace
+    /// disjointness (see [`Tracker::with_id_base`]).
+    pub fn adopt(&mut self, track: Track) {
+        match self.tracks.iter_mut().find(|t| t.id == track.id) {
+            Some(existing) => *existing = track,
+            None => self.tracks.push(track),
+        }
+    }
+
+    /// Removes and returns the track with the given id, if present.
+    pub fn remove(&mut self, id: ObjectId) -> Option<Track> {
+        let at = self.tracks.iter().position(|t| t.id == id)?;
+        Some(self.tracks.remove(at))
     }
 
     /// Ingests one frame of detections at time `now` (seconds, must be
@@ -441,6 +493,48 @@ mod tests {
             tr.update(i as f64 * 0.1, &[det(i as f64, 0.0)]);
         }
         assert_eq!(tr.tracks()[0].observations(), 4);
+    }
+
+    #[test]
+    fn id_base_namespaces_fresh_tracks() {
+        let mut tr = Tracker::with_id_base(TrackerConfig::default(), 3 << 32);
+        let a = tr.update(0.0, &[det(0.0, 0.0)])[0].id;
+        let b = tr.update(0.0, &[det(0.0, 0.0), det(500.0, 0.0)])[1].id;
+        assert_eq!(a, ObjectId(3 << 32));
+        assert_eq!(b, ObjectId((3 << 32) + 1));
+    }
+
+    #[test]
+    fn adopted_track_keeps_identity_across_updates() {
+        let mut source = Tracker::new(TrackerConfig::default());
+        for i in 0..4 {
+            source.update(i as f64 * 0.1, &[det(5.0 * i as f64 * 0.1, 0.0)]);
+        }
+        let track = source.tracks()[0].clone();
+        let id = track.id();
+        let history: Vec<_> = track.history().collect();
+
+        let mut dest = Tracker::with_id_base(TrackerConfig::default(), 1 << 32);
+        let rebuilt =
+            Track::from_history(id, track.kind(), track.misses(), &history).expect("non-empty");
+        assert_eq!(rebuilt, track);
+        dest.adopt(rebuilt);
+        // The next detection continues the adopted track, same id, with the
+        // transferred history feeding the velocity estimate.
+        let r = dest.update(0.4, &[det(2.0, 0.0)]);
+        assert_eq!(r[0].id, id);
+        assert_eq!(dest.tracks().len(), 1);
+        assert_eq!(dest.tracks()[0].observations(), history.len() + 1);
+        // Adopting a fresher snapshot replaces in place, never duplicates.
+        dest.adopt(track.clone());
+        assert_eq!(dest.tracks().len(), 1);
+        assert_eq!(dest.remove(id).unwrap().observations(), history.len());
+        assert!(dest.remove(id).is_none());
+    }
+
+    #[test]
+    fn from_history_rejects_empty() {
+        assert!(Track::from_history(ObjectId(1), ObjectKind::Vehicle, 0, &[]).is_none());
     }
 
     #[test]

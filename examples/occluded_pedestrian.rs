@@ -18,7 +18,7 @@ fn main() -> Result<(), Error> {
             .with_kind(ScenarioKind::OccludedPedestrian)
             .with_speed_kmh(30.0),
     );
-    let mut system = System::new(SystemConfig::new(Strategy::Ours), &s.world);
+    let mut system = System::builder(SystemConfig::new(Strategy::Ours)).build(&s.world);
     let bystander = s.bystander.expect("demo casts vehicle A");
 
     println!("cast: B = vehicle #{}, p = pedestrian #{}, A = vehicle #{}\n", s.ego, s.hazard, bystander);

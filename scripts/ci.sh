@@ -39,6 +39,21 @@ echo "==> smoke capacity check (8 clients x 20 frames)"
     --out target/BENCH_capacity_smoke.json
 grep -q '"bench": "capacity"' target/BENCH_capacity_smoke.json
 
+echo "==> smoke multi-edge check (2 edges x 32 vehicles)"
+./target/release/erpd-multi-edge --edges 2 --vehicles 32 --frames 8 \
+    --out target/BENCH_multi_edge_smoke.json >/dev/null
+grep -q '"bench": "multi_edge"' target/BENCH_multi_edge_smoke.json
+
+echo "==> examples build without deprecation warnings"
+touch examples/*.rs
+cargo build --release --offline --examples 2> target/examples_build.log \
+    || { cat target/examples_build.log >&2; exit 1; }
+if grep -q "deprecated" target/examples_build.log; then
+    cat target/examples_build.log >&2
+    echo "examples use deprecated APIs (System::new/with_pipeline/with_transport)" >&2
+    exit 1
+fi
+
 echo "==> cargo build --release --offline --no-default-features"
 cargo build --release --offline --no-default-features
 

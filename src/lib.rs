@@ -91,23 +91,24 @@ pub mod prelude {
     pub use erpd_core::{
         broadcast_plan, build_relevance_matrix, build_relevance_matrix_multi, greedy_plan,
         optimal_plan, round_robin_plan, Assignment, DisseminationPlan, ObjectHypotheses,
-        PlanInputs, RelevanceConfig, RelevanceMatrix, RelevanceMode,
+        PlanInputs, Region, RelevanceConfig, RelevanceMatrix, RelevanceMode, VehicleHandover,
     };
     pub use erpd_edge::{
         run, run_seeds, truncate_on_wire, AveragedResult, BoxedDisseminationStage,
-        BroadcastDissemination, DaemonConfig, EdgeDaemon, EdgeServer, Error, FaultModel, FrameCx,
-        FrameReport, GreedyDissemination, LoopbackTransport, ModuleTimes, ModuleTimesMs,
-        NetworkConfig, PipelineBuilder, PlanRequest, RoundRobinDissemination, RunConfig,
-        RunResult, ServerConfig, ServerFrame, ServerHandle, ServingCore, Stage, Staged, Strategy,
-        System, SystemConfig, TcpTransport, Transport, WireMessage, WireTransport, TRACK_ID_BASE,
-        WIRE_VERSION,
+        BroadcastDissemination, Coverage, DaemonConfig, Deployment, DeploymentBuilder,
+        DeploymentReport, EdgeDaemon, EdgeServer, Error, FaultModel, FleetReport, FrameCx,
+        FrameReport, GreedyDissemination, HandoverPolicy, LoopbackTransport, ModuleTimes,
+        ModuleTimesMs, NetworkConfig, PipelineBuilder, PlanRequest, RoundRobinDissemination,
+        RunConfig, RunResult, ServerConfig, ServerFrame, ServerHandle, ServingCore, Stage, Staged,
+        Strategy, System, SystemBuilder, SystemConfig, TcpTransport, Transport, WireMessage,
+        WireTransport, TRACK_ID_BASE, WIRE_VERSION,
     };
     pub use erpd_geometry::{Transform3, Vec2, Vec3};
     pub use erpd_par::{max_threads, set_max_threads};
     pub use erpd_pointcloud::{
         compress, decompress, ExtractionConfig, GroundFilter, MovingObjectExtractor, PointCloud,
     };
-    pub use erpd_sim::{Scenario, ScenarioConfig, ScenarioKind, World};
+    pub use erpd_sim::{RoadNetwork, Scenario, ScenarioConfig, ScenarioKind, World};
     pub use erpd_tracking::{
         cluster_crowds, cluster_dbscan, mean_final_deviation, CrowdParams, ObjectId, ObjectKind,
         Pedestrian, PredictorConfig,

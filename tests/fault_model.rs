@@ -27,7 +27,7 @@ fn reports(scenario_seed: u64, fault: FaultModel, frames: usize) -> Vec<FrameRep
     );
     let cfg = SystemConfig::new(Strategy::Ours)
         .with_network(NetworkConfig::default().with_fault(fault));
-    let mut sys = System::new(cfg, &s.world);
+    let mut sys = System::builder(cfg).build(&s.world);
     (0..frames)
         .map(|_| {
             let r = sys.tick(&mut s.world).expect("valid configuration");

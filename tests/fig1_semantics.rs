@@ -16,7 +16,7 @@ fn demo() -> Scenario {
 #[test]
 fn pedestrian_disseminated_to_b_but_not_a() {
     let mut s = demo();
-    let mut sys = System::new(SystemConfig::new(Strategy::Ours), &s.world);
+    let mut sys = System::builder(SystemConfig::new(Strategy::Ours)).build(&s.world);
     let a = s.bystander.unwrap();
 
     let mut b_got_ped = false;

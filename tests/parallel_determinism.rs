@@ -29,7 +29,7 @@ fn run_reports(
         } else {
             1.0
         }));
-    let mut sys = System::new(cfg, &s.world);
+    let mut sys = System::builder(cfg).build(&s.world);
     let mut reports = Vec::with_capacity(frames);
     for _ in 0..frames {
         reports.push(sys.tick(&mut s.world).expect("valid configuration"));

@@ -26,12 +26,13 @@ fn swapping_dissemination_leaves_upstream_stages_bit_identical() {
 
     let mut s_default = scenario();
     let mut s_swapped = scenario();
-    let mut sys_default = System::new(cfg, &s_default.world);
-    let mut sys_swapped = System::with_pipeline(
-        cfg,
-        PipelineBuilder::new(cfg.server, s_swapped.world.map.clone())
-            .with_dissemination_stage(Box::new(BroadcastDissemination)),
-    );
+    let mut sys_default = System::builder(cfg).build(&s_default.world);
+    let mut sys_swapped = System::builder(cfg)
+        .pipeline(
+            PipelineBuilder::new(cfg.server, s_swapped.world.map.clone())
+                .with_dissemination_stage(Box::new(BroadcastDissemination)),
+        )
+        .build(&s_swapped.world);
 
     let mut plans_differed = false;
     for frame in 0..40 {
@@ -87,15 +88,14 @@ fn swapping_dissemination_leaves_upstream_stages_bit_identical() {
 
 #[test]
 fn builder_default_graph_matches_system_new() {
-    // A builder with nothing swapped is exactly System::new.
+    // An explicit pipeline with nothing swapped is exactly the default.
     let cfg = SystemConfig::new(Strategy::Ours).with_alert_threshold(2.0);
     let mut s_a = scenario();
     let mut s_b = scenario();
-    let mut sys_a = System::new(cfg, &s_a.world);
-    let mut sys_b = System::with_pipeline(
-        cfg,
-        PipelineBuilder::new(cfg.server, s_b.world.map.clone()),
-    );
+    let mut sys_a = System::builder(cfg).build(&s_a.world);
+    let mut sys_b = System::builder(cfg)
+        .pipeline(PipelineBuilder::new(cfg.server, s_b.world.map.clone()))
+        .build(&s_b.world);
     for frame in 0..20 {
         let r_a = sys_a.tick(&mut s_a.world).unwrap();
         let r_b = sys_b.tick(&mut s_b.world).unwrap();

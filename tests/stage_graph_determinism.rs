@@ -81,7 +81,7 @@ fn fingerprint(strategy: Strategy, fault: FaultModel, coast: f64, frames: usize)
     let cfg = SystemConfig::new(strategy)
         .with_network(NetworkConfig::default().with_fault(fault))
         .with_server(ServerConfig::default().with_coast_horizon(coast));
-    let mut sys = System::new(cfg, &s.world);
+    let mut sys = System::builder(cfg).build(&s.world);
     let mut h = Fnv::new();
     for _ in 0..frames {
         let r = sys.tick(&mut s.world).expect("valid configuration");

@@ -33,10 +33,11 @@ fn loopback_and_wire_transport_agree_frame_for_frame() {
     let run = |wire: bool| {
         let mut s = scenario();
         let cfg = SystemConfig::new(Strategy::Ours);
-        let mut sys = System::new(cfg, &s.world);
+        let mut builder = System::builder(cfg);
         if wire {
-            sys = sys.with_transport(Box::new(WireTransport::new()));
+            builder = builder.transport(Box::new(WireTransport::new()));
         }
+        let mut sys = builder.build(&s.world);
         let mut frames = Vec::new();
         for _ in 0..30 {
             let r = sys.tick(&mut s.world).expect("valid configuration");
@@ -69,11 +70,13 @@ fn loopback_and_wire_transport_agree_frame_for_frame() {
 }
 
 #[test]
-fn with_transport_reports_its_name() {
+fn built_transport_reports_its_name() {
     let s = scenario();
-    let sys = System::new(SystemConfig::new(Strategy::Ours), &s.world);
+    let sys = System::builder(SystemConfig::new(Strategy::Ours)).build(&s.world);
     assert_eq!(sys.transport_name(), "loopback");
-    let sys = sys.with_transport(Box::new(WireTransport::new()));
+    let sys = System::builder(SystemConfig::new(Strategy::Ours))
+        .transport(Box::new(WireTransport::new()))
+        .build(&s.world);
     assert_eq!(sys.transport_name(), "wire");
 }
 

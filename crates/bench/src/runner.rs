@@ -166,9 +166,10 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f:
         println!("{label:<48} (no samples — Bencher::iter never called)");
         return;
     }
-    s.sort_by(|a, b| a.total_cmp(b));
+    // Sorts `s` as a side effect; `s[len/2]` here was biased one rank
+    // high for even sample counts.
+    let median = erpd_geometry::stats::quantile(&mut s, 0.5);
     let min = s[0];
-    let median = s[s.len() / 2];
     let max = s[s.len() - 1];
     println!(
         "{label:<48} time: [{} {} {}]  ({} samples)",

@@ -22,7 +22,6 @@ use crate::transport::TcpTransport;
 use crate::wire::WireMessage;
 use crate::{percentile, SystemConfig, Upload, VehicleSide};
 use erpd_geometry::{Pose2, Vec2, Vec3};
-use erpd_pointcloud::PointCloud;
 use erpd_sim::{IntersectionMap, Scenario, ScenarioConfig};
 use std::collections::BTreeMap;
 use std::io;
@@ -141,8 +140,7 @@ fn remap_upload(mut u: Upload, vehicle_id: u64, offset: Vec2) -> Upload {
     let off3 = Vec3::new(offset.x, offset.y, 0.0);
     for o in &mut u.objects {
         o.centroid += offset;
-        let moved: Vec<Vec3> = o.points.points().iter().map(|&p| p + off3).collect();
-        o.points = PointCloud::from_points(moved);
+        o.points = o.points.iter().map(|p| p + off3).collect();
     }
     u
 }
@@ -416,8 +414,8 @@ mod tests {
         assert_eq!(got.pose.position, src.pose.position + off);
         assert_eq!(got.objects[0].centroid, src.objects[0].centroid + off);
         assert_eq!(
-            got.objects[0].points.points()[0].x,
-            src.objects[0].points.points()[0].x + 10.0
+            got.objects[0].points.point(0).x,
+            src.objects[0].points.point(0).x + 10.0
         );
         assert_eq!(got.bytes, src.bytes, "rebranding does not change the cost");
     }

@@ -79,6 +79,7 @@ pub use system::{
 pub use transport::{LoopbackTransport, ServingCore, TcpTransport, Transport, WireTransport};
 pub use wire::{truncate_on_wire, WireMessage, MAX_PAYLOAD_BYTES, WIRE_MAGIC, WIRE_VERSION};
 pub use upload::{
-    object_bytes, Strategy, Upload, UploadedObject, VehicleSide, EMP_CLUTTER_FRACTION,
+    object_bytes, Strategy, Upload, UploadedObject, VehicleScratch, VehicleSide,
+    EMP_CLUTTER_FRACTION,
     EXTRACTION_TIME_SCALE, MIN_DETECTABLE_POINTS,
 };

@@ -226,18 +226,11 @@ pub fn run(config: RunConfig) -> Result<RunResult, Error> {
 
 /// The `q`-quantile of `samples` (sorted in place); 0 for an empty set.
 ///
-/// Uses the nearest-rank definition: the smallest sample such that at
-/// least `q·n` samples are ≤ it, i.e. index `ceil(q·n) - 1` after
-/// sorting. The previous truncating index (`(n·q) as usize`) was biased
-/// one rank high — for 20 samples it reported the maximum as the p95.
+/// Nearest-rank, delegating to the one shared implementation in
+/// [`erpd_geometry::stats::quantile`]. Kept as a re-export here because
+/// every consumer of this crate's run metrics already imports it.
 pub fn percentile(samples: &mut [f64], q: f64) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
-    }
-    samples.sort_by(|a, b| a.total_cmp(b));
-    let n = samples.len();
-    let rank = (q * n as f64).ceil() as usize;
-    samples[rank.clamp(1, n) - 1]
+    erpd_geometry::stats::quantile(samples, q)
 }
 
 /// Runs `seeds` runs and returns the fraction with safe passage plus the

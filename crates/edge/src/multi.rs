@@ -360,6 +360,40 @@ impl Deployment {
         self.owners.get(&vehicle_id).copied()
     }
 
+    /// The edge that would serve a vehicle scanned at `position`: the
+    /// first region containing it, else the nearest region.
+    ///
+    /// Deterministic by construction — a position exactly on a shared
+    /// boundary (regions are boundary-inclusive) always resolves to the
+    /// lowest-index covering edge, and a position outside every region
+    /// ties to the lowest-index nearest edge — so re-scanning a stationary
+    /// boundary vehicle never oscillates between owners.
+    pub fn covering_edge(&self, position: Vec2) -> usize {
+        self.route(position)
+    }
+
+    /// The edge that would receive a dual-report ghost for a vehicle at
+    /// `position`, if any.
+    ///
+    /// `None` under [`HandoverPolicy::NearestEdge`], in a single-edge
+    /// deployment, or when the position sits at least the configured
+    /// margin inside its covering region — the band is half-open, so a
+    /// vehicle *exactly* `margin` metres inside is not ghosted.
+    pub fn dual_report_edge(&self, position: Vec2) -> Option<usize> {
+        let HandoverPolicy::DualReport { margin } = self.policy else {
+            return None;
+        };
+        if self.edges.len() <= 1 {
+            return None;
+        }
+        let owner = self.route(position);
+        if self.regions[owner].interior_margin(position) < margin {
+            self.nearest_other(position, owner)
+        } else {
+            None
+        }
+    }
+
     /// The edge covering a position: first region containing it (lowest
     /// index on shared boundaries), else the nearest region.
     fn route(&self, position: Vec2) -> usize {
@@ -445,12 +479,8 @@ impl Deployment {
                     handovers += 1;
                 }
             }
-            if let HandoverPolicy::DualReport { margin } = self.policy {
-                if n > 1 && self.regions[owner].interior_margin(position) < margin {
-                    if let Some(other) = self.nearest_other(position, owner) {
-                        ghosts[other].push(frame.clone());
-                    }
-                }
+            if let Some(other) = self.dual_report_edge(position) {
+                ghosts[other].push(frame.clone());
             }
             primaries[owner].push(frame);
         }

@@ -4,7 +4,7 @@
 //! keeps the two build flavours bit-for-bit comparable.
 
 #[cfg(feature = "parallel")]
-pub(crate) use erpd_par::par_map;
+pub(crate) use erpd_par::{par_map, par_map_reuse};
 
 #[cfg(not(feature = "parallel"))]
 pub(crate) fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
@@ -14,4 +14,22 @@ where
     F: Fn(T) -> R + Sync,
 {
     items.into_iter().map(f).collect()
+}
+
+/// Sequential flavour of [`erpd_par::par_map_reuse`]: one scratch slot
+/// serves every item, and the pool persists across calls just like the
+/// parallel version's per-worker slots.
+#[cfg(not(feature = "parallel"))]
+pub(crate) fn par_map_reuse<T, R, S, F>(items: Vec<T>, states: &mut Vec<S>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    S: Send + Default,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    if states.is_empty() {
+        states.push(S::default());
+    }
+    let state = &mut states[0];
+    items.into_iter().map(|t| f(state, t)).collect()
 }

@@ -336,6 +336,11 @@ pub struct System {
     outages: BTreeSet<u64>,
     /// Jitter-delayed uploads waiting to arrive next frame.
     deferred: Vec<Upload>,
+    /// Per-worker vehicle-side working memory, persistent across frames
+    /// (see [`crate::VehicleScratch`]): one slot per extraction worker,
+    /// so consecutive vehicles reuse warm, already-grown buffers instead
+    /// of each dragging a cold set through the cache every tick.
+    vehicle_scratch: Vec<crate::VehicleScratch>,
 }
 
 impl System {
@@ -369,6 +374,7 @@ impl System {
             frame_index: 0,
             outages: BTreeSet::new(),
             deferred: Vec::new(),
+            vehicle_scratch: Vec::new(),
         }
     }
 
@@ -629,9 +635,10 @@ impl System {
         }
         drop(sides);
         let connected = &connected_positions;
-        let uploads: Vec<Upload> = crate::par::par_map(jobs, |(frame, side)| {
-            side.process(frame, connected, &network)
-        });
+        let uploads: Vec<Upload> =
+            crate::par::par_map_reuse(jobs, &mut self.vehicle_scratch, |scratch, (frame, side)| {
+                side.process_in(frame, connected, &network, scratch).0
+            });
         let mut extraction = 0.0f64;
         let mut clustered = 0usize;
         for u in &uploads {

@@ -11,7 +11,8 @@
 use crate::NetworkConfig;
 use erpd_geometry::{Pose2, Transform3, Vec2};
 use erpd_pointcloud::{
-    ExtractionConfig, GroundFilter, MovingObjectExtractor, PointCloud, POINT_WIRE_BYTES,
+    ExtractionConfig, ExtractionScratch, GroundFilter, MovingObjectExtractor, PointCloud,
+    POINT_WIRE_BYTES,
 };
 use erpd_sim::LidarFrame;
 use std::time::Instant;
@@ -83,16 +84,40 @@ pub const EMP_CLUTTER_FRACTION: f64 = 0.35;
 /// overflow subsampling.
 pub const MIN_DETECTABLE_POINTS: usize = 8;
 
+/// Reusable working memory for [`VehicleSide::process_in`]: the
+/// ground-free world-frame staging cloud plus the extractor's
+/// [`ExtractionScratch`]. Everything is overwritten before it is read, so
+/// one scratch serves any number of vehicles in turn — which keeps the
+/// buffers cache-warm when a tick processes a whole fleet back-to-back,
+/// instead of touching one cold ~½ MB working set per vehicle. (Each
+/// *real* vehicle's OBU runs alone and cache-warm; the per-vehicle cold
+/// set is purely a simulation artifact.)
+#[derive(Debug, Default)]
+pub struct VehicleScratch {
+    world: PointCloud,
+    extraction: ExtractionScratch,
+}
+
+impl VehicleScratch {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        VehicleScratch::default()
+    }
+}
+
 /// Per-vehicle upload processor (holds the stateful extractor for `Ours`
-/// and the reused world-frame scratch cloud).
+/// and a fallback [`VehicleScratch`] for the convenience
+/// [`process`](Self::process) path).
 #[derive(Debug)]
 pub struct VehicleSide {
     strategy: Strategy,
     ground: GroundFilter,
     extractor: MovingObjectExtractor,
-    /// Reused across frames: the ground-free world-frame cloud the fused
-    /// filter+transform pass streams into (zero steady-state allocation).
-    world_scratch: PointCloud,
+    /// Owned scratch backing [`process`](Self::process) /
+    /// [`process_with_host_time`](Self::process_with_host_time); fleet
+    /// drivers share one [`VehicleScratch`] via
+    /// [`process_in`](Self::process_in) instead.
+    scratch: VehicleScratch,
 }
 
 impl VehicleSide {
@@ -102,7 +127,7 @@ impl VehicleSide {
             strategy,
             ground: GroundFilter::new(sensor_height, 0.1),
             extractor: MovingObjectExtractor::new(ExtractionConfig::default()),
-            world_scratch: PointCloud::new(),
+            scratch: VehicleScratch::new(),
         }
     }
 
@@ -133,6 +158,24 @@ impl VehicleSide {
         connected_positions: &[(u64, Vec2)],
         network: &NetworkConfig,
     ) -> (Upload, f64) {
+        // Loan out the owned scratch (cheap Vec moves) so `process_in`
+        // can borrow it alongside `self`.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let out = self.process_in(frame, connected_positions, network, &mut scratch);
+        self.scratch = scratch;
+        out
+    }
+
+    /// Like [`process_with_host_time`](Self::process_with_host_time), but
+    /// drawing working memory from a caller-supplied [`VehicleScratch`] —
+    /// bit-identical output whatever state the scratch arrives in.
+    pub fn process_in(
+        &mut self,
+        frame: &LidarFrame,
+        connected_positions: &[(u64, Vec2)],
+        network: &NetworkConfig,
+        scratch: &mut VehicleScratch,
+    ) -> (Upload, f64) {
         let mut upload = match self.strategy {
             Strategy::Single => Upload {
                 vehicle_id: frame.vehicle_id,
@@ -144,7 +187,7 @@ impl VehicleSide {
             },
             // V2V shares the vehicle-side pipeline with Ours: extraction
             // happens on board either way.
-            Strategy::Ours | Strategy::V2v => self.process_ours(frame),
+            Strategy::Ours | Strategy::V2v => self.process_ours(frame, scratch),
             Strategy::Emp => self.process_emp(frame, connected_positions, network),
             Strategy::Unlimited => self.process_unlimited(frame),
         };
@@ -158,7 +201,7 @@ impl VehicleSide {
     /// The paper's pipeline: fused ground removal + world transform (one
     /// pass into the reused scratch cloud) → moving-object extraction →
     /// upload moving objects only. Reports raw host seconds.
-    fn process_ours(&mut self, frame: &LidarFrame) -> Upload {
+    fn process_ours(&mut self, frame: &LidarFrame, scratch: &mut VehicleScratch) -> Upload {
         let t0 = Instant::now();
         let t_lw = Transform3::lidar_to_world(
             frame.sensor_pose.position,
@@ -169,15 +212,17 @@ impl VehicleSide {
         // in the same order `full_cloud()` concatenated them, so the
         // extractor sees the exact point sequence of the old three-cloud
         // path without materialising any of the intermediates.
-        self.world_scratch.clear();
+        scratch.world.clear();
         for o in &frame.objects {
             self.ground
-                .apply_transformed_into(&o.points, &t_lw, &mut self.world_scratch);
+                .apply_transformed_into(&o.points, &t_lw, &mut scratch.world);
         }
         self.ground
-            .apply_transformed_into(&frame.ground_sample, &t_lw, &mut self.world_scratch);
-        let clustered_points = self.world_scratch.len();
-        let out = self.extractor.process(&self.world_scratch);
+            .apply_transformed_into(&frame.ground_sample, &t_lw, &mut scratch.world);
+        let clustered_points = scratch.world.len();
+        let out = self
+            .extractor
+            .process_in(&scratch.world, &mut scratch.extraction);
         let mut objects = Vec::new();
         let mut bytes = 64u64; // pose + header
         for obj in out.objects.into_iter().filter(|o| o.moving) {
@@ -253,7 +298,7 @@ impl VehicleSide {
                 let step = o.points.len() as f64 / n_keep as f64;
                 let mut points = PointCloud::with_capacity(n_keep);
                 for k in 0..n_keep {
-                    points.push(o.points.points()[(k as f64 * step) as usize]);
+                    points.push(o.points.point((k as f64 * step) as usize));
                 }
                 objects.push(UploadedObject {
                     centroid: o.centroid,

@@ -197,6 +197,9 @@ fn decode_upload_payload(payload: &[u8], lossy: bool) -> Result<(u64, Upload), E
         }
         let cx = c.f64(obj_short)?;
         let cy = c.f64(obj_short)?;
+        if !(cx.is_finite() && cy.is_finite()) {
+            return Err(codec("upload object centroid is non-finite"));
+        }
         let cloud_len = c.u32(obj_short)? as usize;
         if cloud_len > c.rest().len() {
             if lossy {
@@ -561,6 +564,35 @@ mod tests {
         let mut bad = bytes;
         bad[5] = 99;
         assert!(WireMessage::decode_frame(&bad).is_err());
+    }
+
+    #[test]
+    fn non_finite_pose_and_centroid_are_rejected_at_decode() {
+        let bytes = WireMessage::Upload { frame: 1, upload: sample_upload(1) }.encode();
+        let nan = f64::NAN.to_le_bytes();
+        // Payload layout: frame u64, vehicle_id u64, then pose px at 16.
+        let px_at = FRAME_HEADER_BYTES + 16;
+        let mut bad = bytes.clone();
+        bad[px_at..px_at + 8].copy_from_slice(&nan);
+        assert!(matches!(
+            WireMessage::decode_frame(&bad),
+            Err(Error::Codec { .. })
+        ));
+        // First object's centroid x sits after the 8×u64/f64 fixed fields
+        // and the u32 object count.
+        let cx_at = FRAME_HEADER_BYTES + 8 * 8 + 4;
+        let mut bad = bytes.clone();
+        bad[cx_at..cx_at + 8].copy_from_slice(&nan);
+        assert!(matches!(
+            WireMessage::decode_frame(&bad),
+            Err(Error::Codec { .. })
+        ));
+        // The same corrupt object is rejected on the lossy path too: lossy
+        // tolerates truncation, never corruption.
+        let payload = &bad[FRAME_HEADER_BYTES..];
+        assert!(decode_upload_payload(payload, true).is_err());
+        // Sanity: the untouched frame still decodes.
+        assert!(WireMessage::decode_frame(&bytes).unwrap().is_some());
     }
 
     #[test]

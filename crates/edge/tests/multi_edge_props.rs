@@ -1,0 +1,227 @@
+//! Property suite for multi-edge routing at the awkward positions: a
+//! vehicle standing *exactly* on a shared `Region` boundary, or exactly
+//! on the dual-report margin. Both are measure-zero in a random drive but
+//! routine in a grid-city deployment (stop lines and lane markings sit on
+//! round coordinates), and a tie broken differently on consecutive scans
+//! would thrash vehicles between edges through the handover codec.
+//!
+//! All generated coordinates and margins are small integers, so every
+//! `interior_margin` subtraction is exact in `f64` and "exactly on the
+//! boundary" means exactly, not within epsilon.
+
+use erpd_core::Region;
+use erpd_edge::{Coverage, Deployment, HandoverPolicy, Strategy, SystemConfig};
+use erpd_geometry::Vec2;
+use erpd_rand::proptest::prelude::*;
+use erpd_rand::rngs::StdRng;
+use erpd_rand::{Rng, SeedableRng};
+use erpd_sim::{Scenario, ScenarioConfig, ScenarioKind};
+
+const WORLD: f64 = 200.0;
+
+fn scenario(seed: u64) -> Scenario {
+    Scenario::build(ScenarioConfig {
+        kind: ScenarioKind::UnprotectedLeftTurn,
+        seed,
+        ..ScenarioConfig::default()
+    })
+}
+
+/// `k` vertical strips tiling `[-WORLD, WORLD]²` with integer-valued
+/// boundaries, in the given left-to-right (or reversed) index order.
+fn strips(k: usize, reversed: bool) -> Vec<Region> {
+    let width = 2.0 * WORLD / k as f64;
+    let mut regions: Vec<Region> = (0..k)
+        .map(|i| {
+            Region::new(
+                Vec2::new(-WORLD + i as f64 * width, -WORLD),
+                Vec2::new(-WORLD + (i + 1) as f64 * width, WORLD),
+            )
+        })
+        .collect();
+    if reversed {
+        regions.reverse();
+    }
+    regions
+}
+
+fn deployment(regions: Vec<Region>, policy: HandoverPolicy, world_seed: u64) -> Deployment {
+    let s = scenario(world_seed);
+    Deployment::builder()
+        .config(SystemConfig::new(Strategy::Ours))
+        .edges(regions.len())
+        .coverage(Coverage::Regions(regions))
+        .handover(policy)
+        .build(&s.world)
+        .expect("consistent layout")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A position exactly on a boundary shared by two strips routes to the
+    /// lowest-*index* covering region — a property of the region order,
+    /// not of the geometry. Reversing the region list must flip the
+    /// winner, and the answer must be stable under re-query.
+    #[test]
+    fn boundary_ties_route_to_the_lowest_index_edge(seed in 0u64..2_000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+        let k = rng.gen_range(2..=4usize);
+        let boundary = rng.gen_range(1..k); // interior boundary index
+        let x = -WORLD + boundary as f64 * (2.0 * WORLD / k as f64);
+        let y = rng.gen_range(-(WORLD as i64)..=WORLD as i64) as f64;
+        let p = Vec2::new(x, y);
+
+        let dep = deployment(strips(k, false), HandoverPolicy::NearestEdge, seed);
+        let owner = dep.covering_edge(p);
+        // Both strips `boundary - 1` and `boundary` contain p (inclusive
+        // borders); the lower index wins.
+        prop_assert!(dep.regions()[owner].contains(p));
+        prop_assert_eq!(owner, boundary - 1);
+        for lower in 0..owner {
+            prop_assert!(!dep.regions()[lower].contains(p));
+        }
+        prop_assert_eq!(dep.covering_edge(p), owner, "re-query must not oscillate");
+
+        // Same geometry, reversed index order: the *other* strip now has
+        // the lower index and must win the tie.
+        let dep = deployment(strips(k, true), HandoverPolicy::NearestEdge, seed);
+        let rev_owner = dep.covering_edge(p);
+        prop_assert!(dep.regions()[rev_owner].contains(p));
+        prop_assert_eq!(rev_owner, k - 1 - boundary);
+    }
+
+    /// A position outside every region (above the tiling, exactly over a
+    /// shared boundary, so two regions are equidistant) ties to the
+    /// lowest-index nearest edge.
+    #[test]
+    fn outside_distance_ties_route_to_the_lowest_index_edge(seed in 0u64..2_000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x2545f4914f6cdd1d);
+        let k = rng.gen_range(2..=4usize);
+        let boundary = rng.gen_range(1..k);
+        let x = -WORLD + boundary as f64 * (2.0 * WORLD / k as f64);
+        let p = Vec2::new(x, WORLD + rng.gen_range(1..=50i64) as f64);
+
+        let dep = deployment(strips(k, false), HandoverPolicy::NearestEdge, seed);
+        let owner = dep.covering_edge(p);
+        prop_assert_eq!(owner, boundary - 1);
+        let d = dep.regions()[owner].distance(p);
+        prop_assert!(d > 0.0, "the probe must sit outside every region");
+        for r in &dep.regions()[..owner] {
+            prop_assert!(
+                r.distance(p) > d,
+                "no lower-index region may be at least as near"
+            );
+        }
+        // The winner ties with its right-hand neighbour exactly; strict
+        // `<` in the nearest-region scan keeps the lower index.
+        prop_assert_eq!(dep.regions()[owner + 1].distance(p), d);
+    }
+
+    /// The dual-report band is half-open: a vehicle exactly `margin`
+    /// metres inside its region is NOT ghosted, one metre closer to the
+    /// boundary it is — and the ghost goes to the adjacent strip. A
+    /// vehicle exactly on the shared boundary is owned by the left strip
+    /// and ghosted to the right one.
+    #[test]
+    fn margin_boundary_is_half_open(seed in 0u64..2_000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x94d049bb133111eb);
+        // ≥ 2 so the mirrored probe below stays strictly inside strip 1.
+        let margin = rng.gen_range(2..=50i64) as f64;
+        // Two strips sharing x = 0; y pinned to 0 so the x-margin is the
+        // interior margin (the y borders are 200 m away, margin ≤ 50).
+        let two = vec![
+            Region::new(Vec2::new(-WORLD, -WORLD), Vec2::new(0.0, WORLD)),
+            Region::new(Vec2::new(0.0, -WORLD), Vec2::new(WORLD, WORLD)),
+        ];
+        let dep = deployment(two, HandoverPolicy::DualReport { margin }, seed);
+
+        // Exactly margin metres inside strip 0: not ghosted.
+        let at_margin = Vec2::new(-margin, 0.0);
+        prop_assert_eq!(dep.covering_edge(at_margin), 0);
+        prop_assert_eq!(dep.dual_report_edge(at_margin), None);
+
+        // One metre closer to the boundary: ghosted to strip 1.
+        let inside_band = Vec2::new(-margin + 1.0, 0.0);
+        prop_assert_eq!(dep.covering_edge(inside_band), 0);
+        prop_assert_eq!(dep.dual_report_edge(inside_band), Some(1));
+
+        // Exactly on the shared boundary: owned by strip 0 (lowest index
+        // wins the containment tie), ghosted to strip 1.
+        let on_boundary = Vec2::new(0.0, 0.0);
+        prop_assert_eq!(dep.covering_edge(on_boundary), 0);
+        prop_assert_eq!(dep.dual_report_edge(on_boundary), Some(1));
+
+        // Mirror position inside strip 1: ghosted back to strip 0.
+        let mirrored = Vec2::new(margin - 1.0, 0.0);
+        prop_assert_eq!(dep.covering_edge(mirrored), 1);
+        prop_assert_eq!(dep.dual_report_edge(mirrored), Some(0));
+
+        // Deep interior: never ghosted, whatever the margin.
+        let deep = Vec2::new(-WORLD / 2.0, 0.0);
+        prop_assert_eq!(dep.dual_report_edge(deep), None);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Per-edge upload accounting sums to the fleet view on every frame,
+    /// for random edge counts and dual-report margins, and two identical
+    /// deployments stay frame-for-frame identical — boundary vehicles
+    /// never route differently between equal runs.
+    #[test]
+    fn per_edge_accounting_sums_to_fleet_and_is_deterministic(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xda942042e4dd58b5);
+        let k = rng.gen_range(1..=3usize);
+        let margin = rng.gen_range(10..=60i64) as f64;
+        let policy = if k > 1 && rng.gen_range(0..2u32) == 1 {
+            HandoverPolicy::DualReport { margin }
+        } else {
+            HandoverPolicy::NearestEdge
+        };
+        let build = |s: &Scenario| {
+            Deployment::builder()
+                .config(SystemConfig::new(Strategy::Ours))
+                .edges(k)
+                .handover(policy)
+                .build(&s.world)
+                .expect("consistent layout")
+        };
+        let mut s_a = scenario(seed);
+        let mut s_b = scenario(seed);
+        let mut dep_a = build(&s_a);
+        let mut dep_b = build(&s_b);
+        for frame in 0..8 {
+            let ra = dep_a.tick(&mut s_a.world).unwrap();
+            let rb = dep_b.tick(&mut s_b.world).unwrap();
+
+            // Receiving-edge-only accounting: the per-edge columns sum to
+            // the fleet row, ghosts notwithstanding.
+            let sum = |f: fn(&erpd_edge::FrameReport) -> usize| -> usize {
+                ra.per_edge.iter().map(f).sum()
+            };
+            prop_assert_eq!(sum(|e| e.expected_uploads), ra.fleet.expected_uploads);
+            prop_assert_eq!(sum(|e| e.delivered_uploads), ra.fleet.delivered_uploads);
+            prop_assert_eq!(sum(|e| e.lost_uploads), ra.fleet.lost_uploads);
+            prop_assert_eq!(
+                ra.per_edge
+                    .iter()
+                    .map(|e| e.upload_bytes.iter().sum::<u64>())
+                    .sum::<u64>(),
+                ra.fleet.upload_bytes
+            );
+
+            // Determinism across equal runs, frame for frame.
+            prop_assert_eq!(ra.handovers, rb.handovers, "frame {}", frame);
+            prop_assert_eq!(ra.fleet.expected_uploads, rb.fleet.expected_uploads);
+            prop_assert_eq!(ra.fleet.delivered_uploads, rb.fleet.delivered_uploads);
+            prop_assert_eq!(ra.fleet.upload_bytes, rb.fleet.upload_bytes);
+            prop_assert_eq!(ra.fleet.assignments, rb.fleet.assignments);
+            prop_assert_eq!(&ra.fleet.alerted, &rb.fleet.alerted);
+
+            s_a.world.step();
+            s_b.world.step();
+        }
+    }
+}

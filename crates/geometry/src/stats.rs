@@ -53,20 +53,41 @@ pub fn median(xs: &[f64]) -> f64 {
     }
 }
 
+/// The `q`-quantile (`0 ≤ q ≤ 1`) of `samples`, sorted in place; `0.0` for
+/// an empty slice.
+///
+/// This is the one nearest-rank implementation in the workspace — the
+/// smallest sample such that at least `q·n` samples are ≤ it, i.e. index
+/// `ceil(q·n) - 1` after sorting. Both [`percentile`] and
+/// `erpd_edge::percentile` delegate here; a truncating index
+/// (`(q·n) as usize`) is biased one rank high — for 20 samples it reports
+/// the maximum as the p95.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile(samples: &mut [f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    let rank = (q * n as f64).ceil() as usize;
+    samples[rank.clamp(1, n) - 1]
+}
+
 /// Percentile (0–100) using nearest-rank; `0.0` for an empty slice.
+///
+/// Convenience wrapper over [`quantile`] that clones instead of sorting the
+/// input in place.
 ///
 /// # Panics
 ///
 /// Panics if `p` is outside `[0, 100]`.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!((0.0..=100.0).contains(&p), "percentile out of range");
-    if xs.is_empty() {
-        return 0.0;
-    }
-    let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let rank = ((p / 100.0) * v.len() as f64).ceil() as usize;
-    v[rank.clamp(1, v.len()) - 1]
+    quantile(&mut xs.to_vec(), p / 100.0)
 }
 
 #[cfg(test)]
@@ -112,6 +133,32 @@ mod tests {
         assert_eq!(percentile(&xs, 100.0), 10.0);
         assert_eq!(percentile(&xs, 0.0), 1.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_nearest_rank() {
+        // p95 of 20 samples is the 19th, not the maximum.
+        let mut s: Vec<f64> = (1..=20).map(f64::from).collect();
+        assert_eq!(quantile(&mut s, 0.95), 19.0);
+        assert_eq!(quantile(&mut s, 0.5), 10.0);
+        assert_eq!(quantile(&mut s, 1.0), 20.0);
+        // Tiny q still returns the smallest sample.
+        assert_eq!(quantile(&mut s, 0.001), 1.0);
+        // With ten samples the p95 rounds up to the maximum.
+        let mut s: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(quantile(&mut s, 0.95), 10.0);
+        assert_eq!(quantile(&mut s, 0.5), 5.0);
+        // Sorts its input: unsorted in, nearest-rank out.
+        let mut s = vec![3.0, 1.0, 2.0];
+        assert_eq!(quantile(&mut s, 0.5), 2.0);
+        assert_eq!(s, vec![1.0, 2.0, 3.0]);
+        assert_eq!(quantile(&mut [], 0.95), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn quantile_rejects_out_of_range() {
+        let _ = quantile(&mut [1.0], 1.5);
     }
 
     #[test]

@@ -110,6 +110,66 @@ where
     })
 }
 
+/// Like [`par_map`], but each worker thread loans one slot of `states` as
+/// reusable scratch for its whole contiguous chunk.
+///
+/// The pool is grown (with `S::default()`) to the worker count on first
+/// use and handed back intact, so a caller that keeps `states` alive
+/// across calls gives every worker warm, already-grown scratch buffers —
+/// the point of the whole exercise for per-item pipelines whose scratch
+/// (grids, label arrays, staging clouds) dwarfs the items themselves.
+///
+/// `f` must be deterministic per item *regardless of the scratch state it
+/// is handed* (the scratch contract: state is overwritten before it is
+/// read). Under that contract the output is identical to the sequential
+/// `map` at every thread count, exactly as for [`par_map`].
+pub fn par_map_reuse<T, R, S, F>(items: Vec<T>, states: &mut Vec<S>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    S: Send + Default,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    let threads = max_threads().min(items.len()).max(1);
+    if states.len() < threads {
+        states.resize_with(threads, S::default);
+    }
+    if threads <= 1 {
+        let state = &mut states[0];
+        return items.into_iter().map(|t| f(state, t)).collect();
+    }
+
+    let n = items.len();
+    let base = n / threads;
+    let extra = n % threads;
+    let mut rest = items;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    for i in 0..threads {
+        let take = base + usize::from(i < extra);
+        let tail = rest.split_off(take);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .zip(states.iter_mut())
+            .map(|(chunk, state)| {
+                scope.spawn(move || chunk.into_iter().map(|t| f(state, t)).collect::<Vec<R>>())
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +223,47 @@ mod tests {
         set_max_threads(32);
         let out = par_map(vec![1, 2, 3], |x| x);
         assert_eq!(out, vec![1, 2, 3]);
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn reuse_matches_sequential_at_every_thread_count() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        let input: Vec<u64> = (0..131).collect();
+        let expected: Vec<u64> = input.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 5, 64] {
+            set_max_threads(threads);
+            // Deliberately dirty scratch: a correct per-item closure must
+            // overwrite it before reading.
+            let mut pool: Vec<Vec<u64>> = vec![vec![99; 8]; 2];
+            let got = par_map_reuse(input.clone(), &mut pool, |scratch, x| {
+                scratch.clear();
+                scratch.push(x * 3);
+                scratch[0] + 1
+            });
+            assert_eq!(got, expected, "threads = {threads}");
+            assert!(pool.len() >= threads.min(input.len()).min(64) || !pool.is_empty());
+        }
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn reuse_grows_and_keeps_the_pool() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_max_threads(4);
+        let mut pool: Vec<Vec<u8>> = Vec::new();
+        let out = par_map_reuse((0..16u8).collect(), &mut pool, |s, x| {
+            s.push(x);
+            x
+        });
+        assert_eq!(out, (0..16).collect::<Vec<u8>>());
+        assert_eq!(pool.len(), 4, "one slot per worker");
+        let total: usize = pool.iter().map(Vec::len).sum();
+        assert_eq!(total, 16, "pool slots persist after the call");
+        // Empty input still works and never shrinks the pool.
+        let out = par_map_reuse(Vec::<u8>::new(), &mut pool, |_, x| x);
+        assert!(out.is_empty());
+        assert_eq!(pool.len(), 4);
         set_max_threads(0);
     }
 

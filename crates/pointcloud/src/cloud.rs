@@ -1,4 +1,15 @@
 //! Point-cloud container and wire-size accounting.
+//!
+//! Points are stored struct-of-arrays: three contiguous `f64` lanes
+//! (`xs`, `ys`, `zs`) instead of a `Vec<Vec3>`. The hot per-point loops
+//! (ground filtering, the fused world transform, DBSCAN cell keying,
+//! voxel keying) then stream over plain `&[f64]` slices that the
+//! compiler can auto-vectorize, and a lane that a pass never touches
+//! (e.g. `zs` during planar projection) never enters the cache. Every
+//! per-point computation still goes through the same scalar ops on a
+//! reassembled [`Vec3`] — `sum`, `min`/`max`, `Transform3::apply` — so
+//! results are bit-identical to the former array-of-structs layout (the
+//! differential suite in `tests/soa_reference.rs` pins this).
 
 use erpd_geometry::{Transform3, Vec3};
 use std::fmt;
@@ -27,112 +38,193 @@ pub const POINT_WIRE_BYTES: usize = 16;
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct PointCloud {
-    points: Vec<Vec3>,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    zs: Vec<f64>,
 }
 
 impl PointCloud {
     /// Creates an empty cloud.
     #[inline]
     pub fn new() -> Self {
-        PointCloud { points: Vec::new() }
+        PointCloud {
+            xs: Vec::new(),
+            ys: Vec::new(),
+            zs: Vec::new(),
+        }
     }
 
     /// Creates an empty cloud with reserved capacity.
     #[inline]
     pub fn with_capacity(capacity: usize) -> Self {
         PointCloud {
-            points: Vec::with_capacity(capacity),
+            xs: Vec::with_capacity(capacity),
+            ys: Vec::with_capacity(capacity),
+            zs: Vec::with_capacity(capacity),
         }
     }
 
-    /// Wraps an existing vector of points.
-    #[inline]
+    /// Builds a cloud from a vector of points.
     pub fn from_points(points: Vec<Vec3>) -> Self {
-        PointCloud { points }
+        let mut cloud = PointCloud::with_capacity(points.len());
+        for p in points {
+            cloud.push(p);
+        }
+        cloud
+    }
+
+    /// Builds a cloud directly from coordinate lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lanes differ in length.
+    pub fn from_lanes(xs: Vec<f64>, ys: Vec<f64>, zs: Vec<f64>) -> Self {
+        assert!(
+            xs.len() == ys.len() && ys.len() == zs.len(),
+            "lane lengths differ"
+        );
+        PointCloud { xs, ys, zs }
     }
 
     /// Number of points.
     #[inline]
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.xs.len()
     }
 
     /// True when the cloud holds no points.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.xs.is_empty()
     }
 
-    /// Read-only view of the points.
+    /// The `x` coordinate lane.
     #[inline]
-    pub fn points(&self) -> &[Vec3] {
-        &self.points
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The `y` coordinate lane.
+    #[inline]
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// The `z` coordinate lane.
+    #[inline]
+    pub fn zs(&self) -> &[f64] {
+        &self.zs
+    }
+
+    /// Point `i`, reassembled from the lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn point(&self, i: usize) -> Vec3 {
+        Vec3::new(self.xs[i], self.ys[i], self.zs[i])
     }
 
     /// Adds a point.
     #[inline]
     pub fn push(&mut self, p: Vec3) {
-        self.points.push(p);
+        self.xs.push(p.x);
+        self.ys.push(p.y);
+        self.zs.push(p.z);
     }
 
-    /// Removes all points, keeping the allocation for reuse.
+    /// Removes all points, keeping the allocations for reuse.
     #[inline]
     pub fn clear(&mut self) {
-        self.points.clear();
+        self.xs.clear();
+        self.ys.clear();
+        self.zs.clear();
     }
 
-    /// Iterates over the points.
-    pub fn iter(&self) -> std::slice::Iter<'_, Vec3> {
-        self.points.iter()
-    }
-
-    /// Consumes the cloud, returning the underlying vector.
+    /// Iterates over the points by value.
     #[inline]
+    pub fn iter(&self) -> Points<'_> {
+        Points {
+            xs: self.xs.iter(),
+            ys: self.ys.iter(),
+            zs: self.zs.iter(),
+        }
+    }
+
+    /// Consumes the cloud, returning the points as a vector.
     pub fn into_points(self) -> Vec<Vec3> {
-        self.points
+        self.iter().collect()
     }
 
     /// Size of the cloud when transmitted uncompressed, in bytes.
     #[inline]
     pub fn wire_size_bytes(&self) -> usize {
-        self.points.len() * POINT_WIRE_BYTES
+        self.xs.len() * POINT_WIRE_BYTES
     }
 
     /// Centroid of the cloud, or `None` when empty.
+    ///
+    /// Each lane is summed left-to-right from zero, the same additions in
+    /// the same order as folding `Vec3 + Vec3` over the points.
     pub fn centroid(&self) -> Option<Vec3> {
-        if self.points.is_empty() {
+        if self.xs.is_empty() {
             return None;
         }
-        Some(self.points.iter().copied().sum::<Vec3>() / self.points.len() as f64)
+        let n = self.xs.len() as f64;
+        let sx: f64 = self.xs.iter().sum();
+        let sy: f64 = self.ys.iter().sum();
+        let sz: f64 = self.zs.iter().sum();
+        Some(Vec3::new(sx / n, sy / n, sz / n))
     }
 
     /// Axis-aligned bounds `(min, max)`, or `None` when empty.
     pub fn bounds(&self) -> Option<(Vec3, Vec3)> {
-        let first = *self.points.first()?;
-        let mut min = first;
-        let mut max = first;
-        for p in &self.points[1..] {
-            min.x = min.x.min(p.x);
-            min.y = min.y.min(p.y);
-            min.z = min.z.min(p.z);
-            max.x = max.x.max(p.x);
-            max.y = max.y.max(p.y);
-            max.z = max.z.max(p.z);
+        fn lane(xs: &[f64]) -> (f64, f64) {
+            let mut min = xs[0];
+            let mut max = xs[0];
+            for &x in &xs[1..] {
+                min = min.min(x);
+                max = max.max(x);
+            }
+            (min, max)
         }
-        Some((min, max))
+        if self.xs.is_empty() {
+            return None;
+        }
+        let (min_x, max_x) = lane(&self.xs);
+        let (min_y, max_y) = lane(&self.ys);
+        let (min_z, max_z) = lane(&self.zs);
+        Some((
+            Vec3::new(min_x, min_y, min_z),
+            Vec3::new(max_x, max_y, max_z),
+        ))
     }
 
     /// Returns a copy with every point mapped through the rigid transform —
     /// the per-cloud application of the paper's `T_lw` matrix.
     pub fn transformed(&self, t: &Transform3) -> PointCloud {
-        PointCloud {
-            points: self.points.iter().map(|p| t.apply(*p)).collect(),
+        let mut out = PointCloud::with_capacity(self.len());
+        for i in 0..self.len() {
+            out.push(t.apply(self.point(i)));
         }
+        out
     }
 
     /// Keeps only points satisfying the predicate.
-    pub fn retain<F: FnMut(&Vec3) -> bool>(&mut self, f: F) {
-        self.points.retain(f);
+    pub fn retain<F: FnMut(&Vec3) -> bool>(&mut self, mut f: F) {
+        let mut keep = 0usize;
+        for i in 0..self.xs.len() {
+            if f(&self.point(i)) {
+                self.xs[keep] = self.xs[i];
+                self.ys[keep] = self.ys[i];
+                self.zs[keep] = self.zs[i];
+                keep += 1;
+            }
+        }
+        self.xs.truncate(keep);
+        self.ys.truncate(keep);
+        self.zs.truncate(keep);
     }
 
     /// Filter and transform fused into one pass: returns the transformed
@@ -140,15 +232,10 @@ impl PointCloud {
     /// equivalent to `self.filtered(f).transformed(t)` (bit-identical,
     /// since the same `t.apply` runs on the same surviving points in the
     /// same order) without the intermediate cloud.
-    pub fn filter_transform<F: FnMut(&Vec3) -> bool>(&self, mut f: F, t: &Transform3) -> PointCloud {
-        PointCloud {
-            points: self
-                .points
-                .iter()
-                .filter(|p| f(p))
-                .map(|p| t.apply(*p))
-                .collect(),
-        }
+    pub fn filter_transform<F: FnMut(&Vec3) -> bool>(&self, f: F, t: &Transform3) -> PointCloud {
+        let mut out = PointCloud::new();
+        self.filter_transform_into(f, t, &mut out);
+        out
     }
 
     /// Appends the fused filter+transform image of this cloud to `out`
@@ -160,62 +247,162 @@ impl PointCloud {
         t: &Transform3,
         out: &mut PointCloud,
     ) {
-        out.points
-            .extend(self.points.iter().filter(|p| f(p)).map(|p| t.apply(*p)));
+        for i in 0..self.len() {
+            let p = self.point(i);
+            if f(&p) {
+                out.push(t.apply(p));
+            }
+        }
+    }
+
+    /// Fused `z > min_z` filter + rigid transform, appended to `out` —
+    /// the ground-removal hot path, specialized so the filter runs on the
+    /// contiguous `z` lane alone (the `x`/`y` lanes are only touched for
+    /// survivors) and the lanes are reserved exactly once per call.
+    ///
+    /// Bit-identical to `filter_transform_into(|p| p.z > min_z, t, out)`:
+    /// the same `Transform3::apply` products and sums run on the same
+    /// surviving points in the same order.
+    pub fn filter_above_transform_into(&self, min_z: f64, t: &Transform3, out: &mut PointCloud) {
+        let survivors = self.zs.iter().filter(|&&z| z > min_z).count();
+        out.xs.reserve(survivors);
+        out.ys.reserve(survivors);
+        out.zs.reserve(survivors);
+        for i in 0..self.zs.len() {
+            let z = self.zs[i];
+            if z > min_z {
+                let q = t.apply(Vec3::new(self.xs[i], self.ys[i], z));
+                out.xs.push(q.x);
+                out.ys.push(q.y);
+                out.zs.push(q.z);
+            }
+        }
     }
 
     /// Returns a new cloud with the points satisfying the predicate.
     pub fn filtered<F: FnMut(&Vec3) -> bool>(&self, mut f: F) -> PointCloud {
-        PointCloud {
-            points: self.points.iter().copied().filter(|p| f(p)).collect(),
+        let mut out = PointCloud::new();
+        for i in 0..self.len() {
+            let p = self.point(i);
+            if f(&p) {
+                out.push(p);
+            }
         }
+        out
     }
 
     /// Appends all points from another cloud.
     pub fn merge_from(&mut self, other: &PointCloud) {
-        self.points.extend_from_slice(&other.points);
+        self.xs.extend_from_slice(&other.xs);
+        self.ys.extend_from_slice(&other.ys);
+        self.zs.extend_from_slice(&other.zs);
     }
 }
 
+/// By-value iterator over a cloud's points, reassembled from the lanes.
+#[derive(Debug, Clone)]
+pub struct Points<'a> {
+    xs: std::slice::Iter<'a, f64>,
+    ys: std::slice::Iter<'a, f64>,
+    zs: std::slice::Iter<'a, f64>,
+}
+
+impl Iterator for Points<'_> {
+    type Item = Vec3;
+
+    #[inline]
+    fn next(&mut self) -> Option<Vec3> {
+        let x = *self.xs.next()?;
+        let y = *self.ys.next()?;
+        let z = *self.zs.next()?;
+        Some(Vec3::new(x, y, z))
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.xs.size_hint()
+    }
+}
+
+impl ExactSizeIterator for Points<'_> {}
+
+/// Owning by-value iterator over a cloud's points.
+#[derive(Debug)]
+pub struct IntoPoints {
+    xs: std::vec::IntoIter<f64>,
+    ys: std::vec::IntoIter<f64>,
+    zs: std::vec::IntoIter<f64>,
+}
+
+impl Iterator for IntoPoints {
+    type Item = Vec3;
+
+    #[inline]
+    fn next(&mut self) -> Option<Vec3> {
+        let x = self.xs.next()?;
+        let y = self.ys.next()?;
+        let z = self.zs.next()?;
+        Some(Vec3::new(x, y, z))
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.xs.size_hint()
+    }
+}
+
+impl ExactSizeIterator for IntoPoints {}
+
 impl fmt::Display for PointCloud {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "PointCloud({} points)", self.points.len())
+        write!(f, "PointCloud({} points)", self.xs.len())
     }
 }
 
 impl FromIterator<Vec3> for PointCloud {
     fn from_iter<T: IntoIterator<Item = Vec3>>(iter: T) -> Self {
-        PointCloud {
-            points: iter.into_iter().collect(),
-        }
+        let mut cloud = PointCloud::new();
+        cloud.extend(iter);
+        cloud
     }
 }
 
 impl Extend<Vec3> for PointCloud {
     fn extend<T: IntoIterator<Item = Vec3>>(&mut self, iter: T) {
-        self.points.extend(iter);
+        let iter = iter.into_iter();
+        let (lower, _) = iter.size_hint();
+        self.xs.reserve(lower);
+        self.ys.reserve(lower);
+        self.zs.reserve(lower);
+        for p in iter {
+            self.push(p);
+        }
     }
 }
 
 impl IntoIterator for PointCloud {
     type Item = Vec3;
-    type IntoIter = std::vec::IntoIter<Vec3>;
+    type IntoIter = IntoPoints;
     fn into_iter(self) -> Self::IntoIter {
-        self.points.into_iter()
+        IntoPoints {
+            xs: self.xs.into_iter(),
+            ys: self.ys.into_iter(),
+            zs: self.zs.into_iter(),
+        }
     }
 }
 
 impl<'a> IntoIterator for &'a PointCloud {
-    type Item = &'a Vec3;
-    type IntoIter = std::slice::Iter<'a, Vec3>;
+    type Item = Vec3;
+    type IntoIter = Points<'a>;
     fn into_iter(self) -> Self::IntoIter {
-        self.points.iter()
+        self.iter()
     }
 }
 
 impl From<Vec<Vec3>> for PointCloud {
     fn from(points: Vec<Vec3>) -> Self {
-        PointCloud { points }
+        PointCloud::from_points(points)
     }
 }
 
@@ -241,6 +428,8 @@ mod tests {
         c.push(Vec3::ZERO);
         assert_eq!(c.len(), 2);
         assert_eq!(c.wire_size_bytes(), 2 * POINT_WIRE_BYTES);
+        assert_eq!(c.point(0), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(c.point(1), Vec3::ZERO);
     }
 
     #[test]
@@ -256,13 +445,32 @@ mod tests {
     }
 
     #[test]
+    fn lanes_match_points() {
+        let c = PointCloud::from_points(vec![
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(4.0, 5.0, 6.0),
+        ]);
+        assert_eq!(c.xs(), &[1.0, 4.0]);
+        assert_eq!(c.ys(), &[2.0, 5.0]);
+        assert_eq!(c.zs(), &[3.0, 6.0]);
+        let d = PointCloud::from_lanes(vec![1.0, 4.0], vec![2.0, 5.0], vec![3.0, 6.0]);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane lengths differ")]
+    fn from_lanes_rejects_mismatch() {
+        let _ = PointCloud::from_lanes(vec![1.0], vec![], vec![1.0]);
+    }
+
+    #[test]
     fn transform_moves_points() {
         let c = PointCloud::from_points(vec![Vec3::new(1.0, 0.0, 0.0)]);
         let t = Transform3::lidar_to_world(Vec2::new(10.0, 0.0), 0.0, 2.0);
         let w = c.transformed(&t);
-        assert!((w.points()[0] - Vec3::new(11.0, 0.0, 2.0)).norm() < 1e-12);
+        assert!((w.point(0) - Vec3::new(11.0, 0.0, 2.0)).norm() < 1e-12);
         // Original is untouched.
-        assert_eq!(c.points()[0], Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(c.point(0), Vec3::new(1.0, 0.0, 0.0));
     }
 
     #[test]
@@ -281,16 +489,21 @@ mod tests {
         c.filter_transform_into(keep, &t, &mut out);
         c.filter_transform_into(keep, &t, &mut out);
         assert_eq!(out.len(), 2 * expected.len());
-        assert_eq!(&out.points()[..expected.len()], expected.points());
+        for i in 0..expected.len() {
+            assert_eq!(out.point(i), expected.point(i));
+        }
     }
 
     #[test]
     fn clear_keeps_capacity() {
         let mut c = PointCloud::from_points(vec![Vec3::ZERO; 16]);
-        let cap_before = c.points.capacity();
+        let cap_before = (c.xs.capacity(), c.ys.capacity(), c.zs.capacity());
         c.clear();
         assert!(c.is_empty());
-        assert_eq!(c.points.capacity(), cap_before);
+        assert_eq!(
+            (c.xs.capacity(), c.ys.capacity(), c.zs.capacity()),
+            cap_before
+        );
     }
 
     #[test]
@@ -304,6 +517,7 @@ mod tests {
         assert_eq!(above.len(), 2);
         c.retain(|p| p.z > 1.5);
         assert_eq!(c.len(), 1);
+        assert_eq!(c.point(0), Vec3::new(0.0, 0.0, 2.0));
     }
 
     #[test]
@@ -313,12 +527,14 @@ mod tests {
         let d = PointCloud::from_points(vec![Vec3::ZERO]);
         c.merge_from(&d);
         assert_eq!(c.len(), 5);
+        assert_eq!(c.point(4), Vec3::ZERO);
     }
 
     #[test]
     fn iteration() {
         let c = PointCloud::from_points(vec![Vec3::ZERO, Vec3::new(1.0, 1.0, 1.0)]);
         assert_eq!(c.iter().count(), 2);
+        assert_eq!(c.iter().len(), 2);
         assert_eq!((&c).into_iter().count(), 2);
         assert_eq!(c.clone().into_iter().count(), 2);
         assert_eq!(c.into_points().len(), 2);

@@ -206,7 +206,7 @@ mod tests {
     fn single_point_is_exact() {
         let cloud = PointCloud::from_points(vec![Vec3::new(3.5, -2.5, 1.0)]);
         let restored = decompress(&compress(&cloud)).unwrap();
-        assert!((restored.points()[0] - cloud.points()[0]).norm() < 1e-9);
+        assert!((restored.point(0) - cloud.point(0)).norm() < 1e-9);
     }
 
     #[test]

@@ -113,6 +113,11 @@ impl DbscanResult {
 const UNVISITED: u32 = u32::MAX;
 const NOISE: u32 = u32::MAX - 1;
 
+/// Dense-layout cell side as a fraction of eps when the cloud is dense
+/// enough for free-core marking to fire (diagonal `0.7·√2 ≈ 0.99·eps`
+/// stays under eps, so same-cell points remain mutual neighbours).
+const BIG_CELL: f64 = 0.7;
+
 /// Spatial grid stored flat in CSR form: all point indices live in one
 /// `entries` array, grouped by cell, with an offset table `starts` marking
 /// each cell's slice. Two layouts share the same arrays:
@@ -120,11 +125,12 @@ const NOISE: u32 = u32::MAX - 1;
 /// * **dense** — cells of the occupied bounding box are addressed directly
 ///   as `(kx - min_kx) * grid_h + (ky - min_ky)` and the grid is built with
 ///   a counting sort; chosen whenever the bounding box holds at most a few
-///   cells per point, which is every realistic LiDAR cloud. Dense cells are
-///   `eps / 2` on a side: a probe then scans the exact columns overlapping
-///   the padded query square `[p ± eps]²` (about 2.5 × 2.5 cells of area,
-///   6.25 eps²) instead of the 9 eps² a 3×3 block of `eps`-cells covers,
-///   cutting distance checks by roughly a third at the price of a 4× larger
+///   cells per point, which is every realistic LiDAR cloud. Dense cells
+///   are sub-eps on a side — `0.7·eps` when the cloud's occupancy lets
+///   whole cells reach `min_points` (their diagonal stays under eps, so
+///   free-core marking fires), else `eps/2`, whose query windows cover
+///   about 6.25 eps² instead of the 9 eps² a 3×3 block of `eps`-cells
+///   covers. Either side cuts distance checks at the price of a larger
 ///   (still cheap to memset) offset table;
 /// * **sparse** — for far-flung clouds whose bounding box would dwarf the
 ///   point count, `eps`-sized cells, with only occupied cells kept
@@ -137,8 +143,15 @@ const NOISE: u32 = u32::MAX - 1;
 #[derive(Debug, Clone, Default)]
 struct FlatGrid {
     eps: f64,
-    /// Cell side: `eps / 2` for the dense layout, `eps` for sparse.
+    /// Cell side: `0.7·eps` or `eps/2` for the dense layout (chosen per
+    /// cloud by occupancy, see [`build`](Self::build)), `eps` for sparse.
     cell: f64,
+    /// `1.0 / cell`, the dense layout's keying factor. Every dense key is
+    /// `floor(v * inv_cell)` — multiplication instead of division in the
+    /// per-point hot loops. Any fixed positive factor yields a valid
+    /// axis-aligned partition as long as *all* dense keying (binning and
+    /// query windows) uses the same one, which is the invariant here.
+    inv_cell: f64,
     /// Per-point cell key `(kx, ky)` at the current `cell` size
     /// (sparse layout only).
     keys_of: Vec<(i64, i64)>,
@@ -164,18 +177,97 @@ struct FlatGrid {
     grid_h: usize,
 }
 
+/// Borrowed planar point source: the caller's interleaved `Vec2` slice,
+/// or a pair of SoA coordinate lanes read without materialising `Vec2`s.
+/// Both spell the same logical sequence; the lane form lets the grid
+/// build's bounding-box and cell-keying passes run as tight per-lane
+/// loops straight off a [`crate::PointCloud`]'s storage.
+#[derive(Clone, Copy)]
+enum Planar<'a> {
+    Interleaved(&'a [Vec2]),
+    Lanes(&'a [f64], &'a [f64]),
+}
+
+impl Planar<'_> {
+    #[inline]
+    fn len(self) -> usize {
+        match self {
+            Planar::Interleaved(p) => p.len(),
+            Planar::Lanes(xs, _) => xs.len(),
+        }
+    }
+
+    #[inline]
+    fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn get(self, i: usize) -> Vec2 {
+        match self {
+            Planar::Interleaved(p) => p[i],
+            Planar::Lanes(xs, ys) => Vec2::new(xs[i], ys[i]),
+        }
+    }
+
+    /// Componentwise bounding box `(min, max)`. Caller guarantees
+    /// non-empty.
+    fn bounds(self) -> (Vec2, Vec2) {
+        fn lane(v: &[f64]) -> (f64, f64) {
+            let mut min = v[0];
+            let mut max = v[0];
+            for &x in &v[1..] {
+                min = min.min(x);
+                max = max.max(x);
+            }
+            (min, max)
+        }
+        match self {
+            Planar::Interleaved(p) => {
+                let mut min = p[0];
+                let mut max = p[0];
+                for &q in &p[1..] {
+                    min.x = min.x.min(q.x);
+                    min.y = min.y.min(q.y);
+                    max.x = max.x.max(q.x);
+                    max.y = max.y.max(q.y);
+                }
+                (min, max)
+            }
+            Planar::Lanes(xs, ys) => {
+                let (min_x, max_x) = lane(xs);
+                let (min_y, max_y) = lane(ys);
+                (Vec2::new(min_x, min_y), Vec2::new(max_x, max_y))
+            }
+        }
+    }
+}
+
 impl FlatGrid {
     fn key(p: Vec2, cell: f64) -> (i64, i64) {
         ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
     }
 
-    /// Rebuilds the grid over `points`, reusing all buffers.
-    fn build(&mut self, points: &[Vec2], eps: f64) {
+    /// Rebuilds the grid over `points`, reusing all buffers. `min_pts`
+    /// only steers the dense-layout cell-side choice (see below) — it
+    /// never affects which points end up where.
+    fn build(&mut self, points: Planar<'_>, eps: f64, min_pts: usize) {
         self.eps = eps;
-        self.entries.clear();
-        self.entries.resize(points.len(), 0);
-        self.pts.clear();
-        self.pts.resize(points.len(), Vec2::ZERO);
+        // Both scatter passes (dense and sparse) write every slot in
+        // `0..len` exactly once before any read, so neither array needs
+        // its stale contents cleared — only growing (or shrinking the
+        // tail) to the new length.
+        let len = points.len();
+        if self.entries.len() < len {
+            self.entries.resize(len, 0);
+        } else {
+            self.entries.truncate(len);
+        }
+        if self.pts.len() < len {
+            self.pts.resize(len, Vec2::ZERO);
+        } else {
+            self.pts.truncate(len);
+        }
         self.cell_keys.clear();
         if points.is_empty() {
             self.grid_w = 0;
@@ -188,64 +280,118 @@ impl FlatGrid {
         // The layout choice needs the cell-count of the candidate grid, and
         // `floor` is monotone, so the coordinate bounding box gives the key
         // bounding box at any cell size without materialising keys first.
-        let mut min = points[0];
-        let mut max = points[0];
-        for &p in &points[1..] {
-            min.x = min.x.min(p.x);
-            min.y = min.y.min(p.y);
-            max.x = max.x.max(p.x);
-            max.y = max.y.max(p.y);
-        }
-        let half = eps * 0.5;
-        let min_kx = (min.x / half).floor() as i64;
-        let min_ky = (min.y / half).floor() as i64;
-        // i128: the key span of a degenerate cloud can overflow i64.
-        let w = (max.x / half).floor() as i128 - min_kx as i128 + 1;
-        let h = (max.y / half).floor() as i128 - min_ky as i128 + 1;
-        let cells = w * h;
+        let (min, max) = points.bounds();
+        let dims = |side: f64| -> (i64, i64, i128, i128) {
+            // Same `floor(v * inv)` keying the per-point hot loops use.
+            let inv = 1.0 / side;
+            let min_kx = (min.x * inv).floor() as i64;
+            let min_ky = (min.y * inv).floor() as i64;
+            // i128: the key span of a degenerate cloud can overflow i64.
+            let w = (max.x * inv).floor() as i128 - min_kx as i128 + 1;
+            let h = (max.y * inv).floor() as i128 - min_ky as i128 + 1;
+            (min_kx, min_ky, w, h)
+        };
         // The dense layout wins whenever the offset table stays small
         // enough to rebuild (one memset + counting sort) cheaply relative
         // to the query work. 64 cells/point admits every vehicular cloud
         // (tens of thousands of points over a few hundred metres, even at
-        // half-eps cell granularity) while the truly degenerate clouds
+        // sub-eps cell granularity) while the truly degenerate clouds
         // (points kilometres apart) fall back to the sorted sparse layout.
         let dense_cap = (points.len() as i128 * 64).max(4096);
-        if cells <= dense_cap && cells < u32::MAX as i128 {
-            self.cell = half;
-            self.build_dense(points, min_kx, min_ky, w as usize, h as usize);
+        let (bkx, bky, bw, bh) = dims(eps * BIG_CELL);
+        if bw * bh <= dense_cap && bw * bh < u32::MAX as i128 {
+            // Any cell side with diagonal under eps gives identical labels,
+            // so the side is purely a speed knob with a density-dependent
+            // optimum. Big 0.7·eps cells win when they reach `min_points`:
+            // Phase A then marks the whole cell core with zero distance
+            // checks. Under-filled big cells lose — their query windows
+            // cover ~25% more area than eps/2 windows. So: count occupancy
+            // at 0.7·eps (that pass is the first half of the dense build
+            // and is kept either way), and fall back to eps/2 cells unless
+            // at least half the points sit in cells that reach
+            // `min_points`.
+            self.cell = eps * BIG_CELL;
+            self.inv_cell = 1.0 / self.cell;
+            self.count_cells(points, bkx, bky, bw as usize, bh as usize);
+            let free_pts: u32 = self.starts[1..]
+                .iter()
+                .filter(|&&cnt| cnt as usize >= min_pts)
+                .sum();
+            if (free_pts as usize) * 2 < points.len() {
+                let (skx, sky, sw, sh) = dims(eps * 0.5);
+                if sw * sh <= dense_cap && sw * sh < u32::MAX as i128 {
+                    self.cell = eps * 0.5;
+                    self.inv_cell = 1.0 / self.cell;
+                    self.count_cells(points, skx, sky, sw as usize, sh as usize);
+                }
+            }
+            self.finish_dense(points);
         } else {
             self.cell = eps;
+            self.inv_cell = 1.0 / eps;
             let cell = self.cell;
             self.keys_of.clear();
-            self.keys_of.extend(points.iter().map(|&p| Self::key(p, cell)));
+            match points {
+                Planar::Interleaved(p) => {
+                    self.keys_of.extend(p.iter().map(|&p| Self::key(p, cell)));
+                }
+                Planar::Lanes(xs, ys) => {
+                    self.keys_of.extend(
+                        xs.iter()
+                            .zip(ys)
+                            .map(|(&x, &y)| Self::key(Vec2::new(x, y), cell)),
+                    );
+                }
+            }
             self.build_sparse(points);
         }
     }
 
-    /// Counting sort over the occupied bounding grid. The `starts` table
-    /// doubles as the scatter cursor — after the exclusive prefix pass
-    /// `starts[c + 1]` holds cell `c`'s begin offset, and the scatter
-    /// advances it to the end offset, which *is* cell `c + 1`'s begin —
-    /// so the table lands in its final `starts[c]..starts[c + 1]` shape
-    /// without a second cells-sized array to memset and copy.
-    fn build_dense(&mut self, points: &[Vec2], min_kx: i64, min_ky: i64, w: usize, h: usize) {
+    /// First half of the dense build: bins every point (`cell_of`) and
+    /// leaves the per-cell *count* in `starts[c + 1]`. Kept separate from
+    /// [`finish_dense`](Self::finish_dense) so [`build`](Self::build) can
+    /// inspect the occupancy histogram to pick the cell side before
+    /// committing to the scatter.
+    fn count_cells(&mut self, points: Planar<'_>, min_kx: i64, min_ky: i64, w: usize, h: usize) {
         self.min_kx = min_kx;
         self.min_ky = min_ky;
         self.grid_w = w;
         self.grid_h = h;
-        let cells = w * h;
-        let cell = self.cell;
+        let inv = self.inv_cell;
         self.cell_of.clear();
-        self.cell_of.extend(points.iter().map(|&p| {
-            let kx = ((p.x / cell).floor() as i64 - min_kx) as usize;
-            let ky = ((p.y / cell).floor() as i64 - min_ky) as usize;
-            (kx * h + ky) as u32
-        }));
+        // Matched outside the loop so each variant keys in one tight pass.
+        match points {
+            Planar::Interleaved(p) => {
+                self.cell_of.extend(p.iter().map(|&p| {
+                    let kx = ((p.x * inv).floor() as i64 - min_kx) as usize;
+                    let ky = ((p.y * inv).floor() as i64 - min_ky) as usize;
+                    (kx * h + ky) as u32
+                }));
+            }
+            Planar::Lanes(xs, ys) => {
+                self.cell_of.extend(xs.iter().zip(ys).map(|(&x, &y)| {
+                    let kx = ((x * inv).floor() as i64 - min_kx) as usize;
+                    let ky = ((y * inv).floor() as i64 - min_ky) as usize;
+                    (kx * h + ky) as u32
+                }));
+            }
+        }
         self.starts.clear();
-        self.starts.resize(cells + 1, 0);
+        self.starts.resize(w * h + 1, 0);
         for &c in &self.cell_of {
             self.starts[c as usize + 1] += 1;
         }
+    }
+
+    /// Counting sort over the occupied bounding grid, from the counts left
+    /// by [`count_cells`](Self::count_cells). The `starts` table doubles
+    /// as the scatter cursor — after the exclusive prefix pass
+    /// `starts[c + 1]` holds cell `c`'s begin offset, and the scatter
+    /// advances it to the end offset, which *is* cell `c + 1`'s begin —
+    /// so the table lands in its final `starts[c]..starts[c + 1]` shape
+    /// without a second cells-sized array to memset and copy.
+    fn finish_dense(&mut self, points: Planar<'_>) {
+        let cells = self.grid_w * self.grid_h;
         self.occupied.clear();
         let mut sum = 0u32;
         for c in 0..cells {
@@ -259,13 +405,13 @@ impl FlatGrid {
         for (i, &c) in self.cell_of.iter().enumerate() {
             let pos = self.starts[c as usize + 1];
             self.entries[pos as usize] = i as u32;
-            self.pts[pos as usize] = points[i];
+            self.pts[pos as usize] = points.get(i);
             self.starts[c as usize + 1] = pos + 1;
         }
     }
 
     /// Sort-by-key into per-cell runs; occupied cells only.
-    fn build_sparse(&mut self, points: &[Vec2]) {
+    fn build_sparse(&mut self, points: Planar<'_>) {
         self.grid_w = 0;
         self.grid_h = 0;
         self.sort_buf.clear();
@@ -281,7 +427,7 @@ impl FlatGrid {
                 self.starts.push(pos as u32);
             }
             self.entries[pos] = i;
-            self.pts[pos] = points[i as usize];
+            self.pts[pos] = points.get(i as usize);
         }
         self.starts.push(points.len() as u32);
     }
@@ -297,11 +443,11 @@ impl FlatGrid {
     #[inline]
     fn window(&self, p: Vec2) -> (i64, i64, i64, i64) {
         let r = self.eps * (1.0 + 1e-9);
-        let cell = self.cell;
-        let x0 = (((p.x - r) / cell).floor() as i64 - self.min_kx).max(0);
-        let x1 = (((p.x + r) / cell).floor() as i64 - self.min_kx).min(self.grid_w as i64 - 1);
-        let y0 = (((p.y - r) / cell).floor() as i64 - self.min_ky).max(0);
-        let y1 = (((p.y + r) / cell).floor() as i64 - self.min_ky).min(self.grid_h as i64 - 1);
+        let inv = self.inv_cell;
+        let x0 = (((p.x - r) * inv).floor() as i64 - self.min_kx).max(0);
+        let x1 = (((p.x + r) * inv).floor() as i64 - self.min_kx).min(self.grid_w as i64 - 1);
+        let y0 = (((p.y - r) * inv).floor() as i64 - self.min_ky).max(0);
+        let y1 = (((p.y + r) * inv).floor() as i64 - self.min_ky).min(self.grid_h as i64 - 1);
         (x0, x1, y0, y1)
     }
 
@@ -312,12 +458,12 @@ impl FlatGrid {
     /// ever materialised.
     fn probe(
         &self,
-        points: &[Vec2],
+        points: Planar<'_>,
         idx: usize,
         labels: &[u32],
         frontier: &mut Vec<u32>,
     ) -> usize {
-        let p = points[idx];
+        let p = points.get(idx);
         let (cx, cy) = self.keys_of[idx];
         let mut count = 0;
         for dx in -1..=1 {
@@ -410,6 +556,15 @@ pub struct DbscanScratch {
     /// Per-cell component id; `u32::MAX` = unexamined or unassigned,
     /// [`NO_CORE`] = examined, holds no core points (dense path only).
     cell_state: Vec<u32>,
+    /// Per-cell bounding box of *core* points as `[min_x, min_y, max_x,
+    /// max_y]` (dense path only). Written for every occupied cell during
+    /// core marking and read only for cells that hold cores, so entries
+    /// of cells untouched this run are stale by construction, never read.
+    core_bbox: Vec<[f64; 4]>,
+    /// Number of core points per cell (dense path only; same staleness
+    /// contract as `core_bbox`). Makes the "does this cell hold a core?"
+    /// test O(1) instead of a scan of the cell's entries.
+    core_cnt: Vec<u32>,
     /// Final cluster number per component, assigned in ascending order of
     /// each component's first core point index (dense path only).
     comp_number: Vec<u32>,
@@ -430,22 +585,52 @@ impl DbscanScratch {
     /// Panics if `points` holds `u32::MAX - 1` points or more (labels are
     /// `u32` with two sentinel values).
     pub fn run(&mut self, points: &[Vec2], params: DbscanParams) {
+        self.run_planar(Planar::Interleaved(points), params);
+    }
+
+    /// Clusters the SoA coordinate lanes `(xs[i], ys[i])` — the planar
+    /// projection of a [`crate::PointCloud`] — without materialising an
+    /// interleaved copy. Labels are bit-identical to
+    /// [`run`](Self::run) over the zipped `Vec2` sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lanes differ in length, or on the same label-space
+    /// overflow as [`run`](Self::run).
+    pub fn run_lanes(&mut self, xs: &[f64], ys: &[f64], params: DbscanParams) {
+        assert_eq!(xs.len(), ys.len(), "coordinate lanes must match");
+        self.run_planar(Planar::Lanes(xs, ys), params);
+    }
+
+    fn run_planar(&mut self, points: Planar<'_>, params: DbscanParams) {
         assert!(
             points.len() < NOISE as usize,
             "point count exceeds the u32 label space"
         );
-        self.grid.build(points, params.eps);
-        self.labels.clear();
-        self.labels.resize(points.len(), UNVISITED);
+        self.grid.build(points, params.eps, params.min_points);
+        let n = points.len();
         self.n_clusters = 0;
         self.noise = 0;
         self.frontier.clear();
         if points.is_empty() {
+            self.labels.clear();
             return;
         }
         if self.grid.grid_w > 0 {
+            // Dense phases C and D together write every label before any
+            // read, so only growth needs initialising; the stale prefix
+            // is fully overwritten.
+            if self.labels.len() < n {
+                self.labels.resize(n, UNVISITED);
+            } else {
+                self.labels.truncate(n);
+            }
             self.run_dense(points, params);
         } else {
+            // The sparse BFS reads `UNVISITED` to pick seeds, so labels
+            // must start clean.
+            self.labels.clear();
+            self.labels.resize(n, UNVISITED);
             self.run_sparse(points, params);
         }
     }
@@ -453,7 +638,7 @@ impl DbscanScratch {
     /// Classic seeded BFS over the sparse grid layout. Far-flung clouds
     /// only: per-point neighbourhood scans are cheap when nearly every
     /// cell is empty.
-    fn run_sparse(&mut self, points: &[Vec2], params: DbscanParams) {
+    fn run_sparse(&mut self, points: Planar<'_>, params: DbscanParams) {
         // The probe pushes frontier candidates while it counts, so no
         // neighbour list is ever materialised. Only points that can still
         // change state go on the frontier (`labels >= NOISE`): an
@@ -498,13 +683,13 @@ impl DbscanScratch {
         }
     }
 
-    /// Exact grid DBSCAN over the dense half-eps layout (after Gunawan's
+    /// Exact grid DBSCAN over the dense sub-eps layout (after Gunawan's
     /// grid formulation): same labels as the seeded BFS, a fraction of the
     /// distance checks.
     ///
     /// * **Core marking** — any cell holding `min_points` points makes all
-    ///   of them core with zero distance checks (the cell diagonal is
-    ///   `eps/√2 < eps`, so same-cell points are mutual neighbours);
+    ///   of them core with zero distance checks (the cell diagonal stays
+    ///   under eps, so same-cell points are mutual neighbours);
     ///   points in smaller cells count their window with an early exit at
     ///   `min_points`.
     /// * **Components** — cells with cores are BFS-connected when any
@@ -516,29 +701,59 @@ impl DbscanScratch {
     ///   lowest-numbered cluster with a core in range, which is the
     ///   cluster whose (fully-drained) expansion would have popped it
     ///   first; the rest is noise.
-    fn run_dense(&mut self, points: &[Vec2], params: DbscanParams) {
+    fn run_dense(&mut self, points: Planar<'_>, params: DbscanParams) {
         let min_pts = params.min_points;
         let eps2 = params.eps * params.eps;
         let n = points.len();
         let h = self.grid.grid_h as i64;
         let w = self.grid.grid_w as i64;
 
-        // Phase A: core marking.
-        self.core_pos.clear();
-        self.core_pos.resize(n, 0);
-        self.core_pt.clear();
-        self.core_pt.resize(n, 0);
+        // Phase A: core marking. Alongside the core flags, record each
+        // occupied cell's core count (Phase B's and D's O(1) "holds a
+        // core?" test) and its bounding box over *core* points — Phase
+        // B's cheap separation certificate. Stale entries (cells not
+        // occupied this run) are never read: later phases only consult
+        // occupied cells, and every occupied cell is rewritten here.
+        // Likewise the per-position / per-point core flags: every point
+        // lies in exactly one occupied cell, so both flag arrays are
+        // written in full before any read and only need growing.
+        if self.core_pos.len() < n {
+            self.core_pos.resize(n, 0);
+        } else {
+            self.core_pos.truncate(n);
+        }
+        if self.core_pt.len() < n {
+            self.core_pt.resize(n, 0);
+        } else {
+            self.core_pt.truncate(n);
+        }
+        let cells = self.grid.starts.len() - 1;
+        if self.core_bbox.len() < cells {
+            self.core_bbox.resize(cells, [0.0; 4]);
+        }
+        if self.core_cnt.len() < cells {
+            self.core_cnt.resize(cells, 0);
+        }
         for &c in &self.grid.occupied {
             let c = c as usize;
             let lo = self.grid.starts[c] as usize;
             let hi = self.grid.starts[c + 1] as usize;
+            let mut bb = [f64::MAX, f64::MAX, f64::MIN, f64::MIN];
             if hi - lo >= min_pts {
                 for k in lo..hi {
                     self.core_pos[k] = 1;
                     self.core_pt[self.grid.entries[k] as usize] = 1;
+                    let q = self.grid.pts[k];
+                    bb[0] = bb[0].min(q.x);
+                    bb[1] = bb[1].min(q.y);
+                    bb[2] = bb[2].max(q.x);
+                    bb[3] = bb[3].max(q.y);
                 }
+                self.core_bbox[c] = bb;
+                self.core_cnt[c] = (hi - lo) as u32;
                 continue;
             }
+            let mut cores = 0u32;
             for k in lo..hi {
                 let p = self.grid.pts[k];
                 let (x0, x1, y0, y1) = self.grid.window(p);
@@ -555,18 +770,30 @@ impl DbscanScratch {
                         break 'cols;
                     }
                 }
-                if count >= min_pts {
-                    self.core_pos[k] = 1;
-                    self.core_pt[self.grid.entries[k] as usize] = 1;
+                let is_core = count >= min_pts;
+                self.core_pos[k] = is_core as u8;
+                self.core_pt[self.grid.entries[k] as usize] = is_core as u8;
+                if is_core {
+                    cores += 1;
+                    bb[0] = bb[0].min(p.x);
+                    bb[1] = bb[1].min(p.y);
+                    bb[2] = bb[2].max(p.x);
+                    bb[3] = bb[3].max(p.y);
                 }
             }
+            self.core_bbox[c] = bb;
+            self.core_cnt[c] = cores;
         }
 
-        // Phase B: connected components over cells that hold cores. A
-        // core-core pair within eps can sit at most three cells apart
-        // (two from the eps span, one more for the float pad), so the
-        // BFS ring is ±3.
-        let cells = self.grid.starts.len() - 1;
+        // Phase B: connected components over cells that hold cores. Two
+        // cells `ring` apart in either axis have a gap of at least
+        // `(ring - 1) * cell` between them, so any ring beyond
+        // `floor(eps_pad / cell) + 1` can never hold a linkable pair —
+        // ±2 at `0.7·eps` cells, ±3 at `eps/2`. The pad (same as
+        // [`FlatGrid::window`]) keeps the bound provably conservative
+        // against the float distance predicate.
+        let eps_pad = params.eps * (1.0 + 1e-9);
+        let ring = (eps_pad / self.grid.cell).floor() as i64 + 1;
         self.cell_state.clear();
         self.cell_state.resize(cells, u32::MAX);
         let mut n_comps = 0u32;
@@ -591,13 +818,20 @@ impl DbscanScratch {
                 self.dcores.clear();
                 let lo = self.grid.starts[d] as usize;
                 let hi = self.grid.starts[d + 1] as usize;
-                for k in lo..hi {
-                    if self.core_pos[k] == 1 {
-                        self.dcores.push(k as u32);
+                if self.core_cnt[d] as usize == hi - lo {
+                    // Saturated cell (the common dense case): every entry
+                    // is core, no flag scan needed.
+                    self.dcores.extend(lo as u32..hi as u32);
+                } else {
+                    for k in lo..hi {
+                        if self.core_pos[k] == 1 {
+                            self.dcores.push(k as u32);
+                        }
                     }
                 }
-                for x in (dx_cell - 3).max(0)..=(dx_cell + 3).min(w - 1) {
-                    for y in (dy_cell - 3).max(0)..=(dy_cell + 3).min(h - 1) {
+                let dbb = self.core_bbox[d];
+                for x in (dx_cell - ring).max(0)..=(dx_cell + ring).min(w - 1) {
+                    for y in (dy_cell - ring).max(0)..=(dy_cell + ring).min(h - 1) {
                         let e = (x * h + y) as usize;
                         if e == d || self.cell_state[e] != u32::MAX {
                             continue;
@@ -609,6 +843,18 @@ impl DbscanScratch {
                         }
                         if !self.cell_has_core(e) {
                             self.cell_state[e] = NO_CORE;
+                            continue;
+                        }
+                        // Separation certificate: if the two cells' core
+                        // bounding boxes are more than eps apart, no
+                        // core-core pair can link them and the quadratic
+                        // scan is skipped. The pad dwarfs the rounding of
+                        // the box-gap arithmetic, so a pair the distance
+                        // predicate would admit is never pruned.
+                        let ebb = self.core_bbox[e];
+                        let gx = (ebb[0] - dbb[2]).max(dbb[0] - ebb[2]).max(0.0);
+                        let gy = (ebb[1] - dbb[3]).max(dbb[1] - ebb[3]).max(0.0);
+                        if gx * gx + gy * gy > eps_pad * eps_pad {
                             continue;
                         }
                         if self.cells_linked(e, eps2) {
@@ -664,6 +910,16 @@ impl DbscanScratch {
                         if num >= best {
                             continue;
                         }
+                        // Same separation certificate as Phase B, point
+                        // against cell: farther than eps from the cell's
+                        // core bounding box means no core in it can adopt
+                        // this border point.
+                        let ebb = self.core_bbox[e];
+                        let gx = (ebb[0] - p.x).max(p.x - ebb[2]).max(0.0);
+                        let gy = (ebb[1] - p.y).max(p.y - ebb[3]).max(0.0);
+                        if gx * gx + gy * gy > eps_pad * eps_pad {
+                            continue;
+                        }
                         let elo = self.grid.starts[e] as usize;
                         let ehi = self.grid.starts[e + 1] as usize;
                         for kk in elo..ehi {
@@ -690,12 +946,11 @@ impl DbscanScratch {
         }
     }
 
-    /// Does cell `c` hold at least one core point?
+    /// Does cell `c` hold at least one core point? O(1) off Phase A's
+    /// per-cell core counts (valid for occupied cells only).
     #[inline]
     fn cell_has_core(&self, c: usize) -> bool {
-        let lo = self.grid.starts[c] as usize;
-        let hi = self.grid.starts[c + 1] as usize;
-        self.core_pos[lo..hi].contains(&1)
+        self.core_cnt[c] > 0
     }
 
     /// Is any core of the current BFS cell (`dcores`) within eps of any

@@ -92,8 +92,7 @@ impl GroundFilter {
     /// into one reused world-frame scratch with zero steady-state
     /// allocation.
     pub fn apply_transformed_into(&self, cloud: &PointCloud, t: &Transform3, out: &mut PointCloud) {
-        let thr = self.threshold();
-        cloud.filter_transform_into(|p| p.z > thr, t, out);
+        cloud.filter_above_transform_into(self.threshold(), t, out);
     }
 }
 

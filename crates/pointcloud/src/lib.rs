@@ -40,13 +40,15 @@ mod merge;
 mod motion;
 mod registration;
 
-pub use cloud::{PointCloud, POINT_WIRE_BYTES};
+pub use cloud::{IntoPoints, PointCloud, Points, POINT_WIRE_BYTES};
 pub use compress::{
     compress, compression_ratio, decompress, max_quantization_error, DecodeError,
     COMPRESSED_POINT_BYTES,
 };
 pub use dbscan::{dbscan, DbscanParams, DbscanResult, DbscanScratch};
 pub use ground::GroundFilter;
-pub use merge::{merge_clouds, PointCloudMerger};
+pub use merge::{merge_clouds, IncrementalMerger, PointCloudMerger, VoxelHasher};
 pub use registration::{apply_planar, icp_align, IcpConfig, IcpResult};
-pub use motion::{DetectedObject, ExtractionConfig, ExtractionOutput, MovingObjectExtractor};
+pub use motion::{
+    DetectedObject, ExtractionConfig, ExtractionOutput, ExtractionScratch, MovingObjectExtractor,
+};

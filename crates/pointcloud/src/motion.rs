@@ -15,8 +15,9 @@
 //!
 //! Extraction is the dominant module of the end-to-end latency budget
 //! (paper §V), so [`MovingObjectExtractor::process`] is written for a
-//! zero-alloc steady state: the planar projection, the DBSCAN grid /
-//! label / traversal buffers ([`DbscanScratch`]), the per-cluster count
+//! zero-alloc steady state: the DBSCAN grid / label / traversal buffers
+//! ([`DbscanScratch`], fed the cloud's SoA coordinate lanes directly —
+//! no interleaved planar copy exists), the per-cluster count
 //! and centroid-sum accumulators, and the previous/next centroid lists
 //! are all owned by the extractor and reused frame over frame. After the
 //! first few frames have grown them to the workload's high-water mark,
@@ -91,6 +92,32 @@ impl ExtractionOutput {
     }
 }
 
+/// Reusable working memory for [`MovingObjectExtractor::process_in`]: the
+/// DBSCAN grid / label / traversal buffers plus the per-cluster
+/// accumulators. Everything in here is overwritten before it is read, so
+/// one scratch can serve any number of extractors (and vehicles) in turn
+/// — sharing it keeps the buffers cache-warm across a fleet processed
+/// back-to-back instead of thrashing one cold set per vehicle.
+#[derive(Debug, Clone, Default)]
+pub struct ExtractionScratch {
+    dbscan: DbscanScratch,
+    cluster_counts: Vec<usize>,
+    cluster_sums: Vec<Vec2>,
+    next_centroids: Vec<Vec2>,
+    /// Clustered point indices, counting-sorted by cluster (ascending
+    /// index within each cluster). Every slot is overwritten each frame.
+    perm: Vec<u32>,
+    /// Per-cluster write cursor for the counting sort.
+    cluster_cursor: Vec<usize>,
+}
+
+impl ExtractionScratch {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        ExtractionScratch::default()
+    }
+}
+
 /// Stateful per-vehicle extractor: feed it ground-free, motion-compensated
 /// frames and it labels each cluster moving/static.
 ///
@@ -114,12 +141,11 @@ pub struct MovingObjectExtractor {
     config: ExtractionConfig,
     prev_centroids: Vec<Vec2>,
     frames_seen: usize,
-    // Reusable scratch (see the module docs' allocation discipline).
-    planar: Vec<Vec2>,
-    dbscan: DbscanScratch,
-    cluster_counts: Vec<usize>,
-    cluster_sums: Vec<Vec2>,
-    next_centroids: Vec<Vec2>,
+    /// Owned scratch backing the convenience [`process`](Self::process)
+    /// path (see the module docs' allocation discipline). Callers driving
+    /// many extractors use [`process_in`](Self::process_in) with one
+    /// shared [`ExtractionScratch`] instead.
+    scratch: ExtractionScratch,
 }
 
 impl MovingObjectExtractor {
@@ -129,11 +155,7 @@ impl MovingObjectExtractor {
             config,
             prev_centroids: Vec::new(),
             frames_seen: 0,
-            planar: Vec::new(),
-            dbscan: DbscanScratch::new(),
-            cluster_counts: Vec::new(),
-            cluster_sums: Vec::new(),
-            next_centroids: Vec::new(),
+            scratch: ExtractionScratch::new(),
         }
     }
 
@@ -157,24 +179,46 @@ impl MovingObjectExtractor {
     /// from nowhere either entered the field of view or moved farther than
     /// the match radius in one frame — both warrant an upload.
     pub fn process(&mut self, cloud: &PointCloud) -> ExtractionOutput {
-        self.planar.clear();
-        self.planar.extend(cloud.iter().map(|p| p.xy()));
-        self.dbscan.run(&self.planar, self.config.dbscan);
-        let n_clusters = self.dbscan.n_clusters();
+        // Loan out the owned scratch (cheap Vec moves) so `process_in`
+        // can borrow it alongside `self`.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let out = self.process_in(cloud, &mut scratch);
+        self.scratch = scratch;
+        out
+    }
 
-        // Label-partitioned cluster build: one counting pass sizes every
-        // cluster's cloud exactly, then a single in-order pass distributes
-        // points and accumulates centroid sums — point order (and with it
-        // the centroid summation order) matches the ascending index lists
-        // the old `DbscanResult::clusters()` produced, bit for bit.
-        self.cluster_counts.clear();
-        self.cluster_counts.resize(n_clusters, 0);
-        for i in 0..self.planar.len() {
-            if let Some(c) = self.dbscan.label(i) {
-                self.cluster_counts[c] += 1;
+    /// Like [`process`](Self::process), but drawing working memory from a
+    /// caller-supplied [`ExtractionScratch`] — bit-identical output
+    /// whatever state the scratch arrives in.
+    pub fn process_in(
+        &mut self,
+        cloud: &PointCloud,
+        scratch: &mut ExtractionScratch,
+    ) -> ExtractionOutput {
+        // DBSCAN reads the planar projection straight off the SoA lanes:
+        // no interleaved copy, and the z lane never enters the cache.
+        scratch
+            .dbscan
+            .run_lanes(cloud.xs(), cloud.ys(), self.config.dbscan);
+        let n_clusters = scratch.dbscan.n_clusters();
+
+        // Label-partitioned cluster build: one in-order pass counts every
+        // cluster and accumulates its centroid sum (both in ascending
+        // point order, so the summation order — and the result, bit for
+        // bit — matches the ascending index lists the old
+        // `DbscanResult::clusters()` produced), then a second in-order
+        // pass distributes points into the exactly-sized clouds.
+        scratch.cluster_counts.clear();
+        scratch.cluster_counts.resize(n_clusters, 0);
+        scratch.cluster_sums.clear();
+        scratch.cluster_sums.resize(n_clusters, Vec2::ZERO);
+        for i in 0..cloud.len() {
+            if let Some(c) = scratch.dbscan.label(i) {
+                scratch.cluster_counts[c] += 1;
+                scratch.cluster_sums[c] += Vec2::new(cloud.xs()[i], cloud.ys()[i]);
             }
         }
-        let mut objects: Vec<DetectedObject> = self
+        let mut objects: Vec<DetectedObject> = scratch
             .cluster_counts
             .iter()
             .map(|&n| DetectedObject {
@@ -184,20 +228,45 @@ impl MovingObjectExtractor {
                 displacement: None,
             })
             .collect();
-        self.cluster_sums.clear();
-        self.cluster_sums.resize(n_clusters, Vec2::ZERO);
-        for (i, p) in cloud.iter().enumerate() {
-            if let Some(c) = self.dbscan.label(i) {
-                objects[c].points.push(*p);
-                self.cluster_sums[c] += self.planar[i];
+        // Counting-sort the members into `perm` (ascending point index
+        // within each cluster — the exact order the old per-point push
+        // produced), then fill each cluster's cloud in one sequential
+        // append run instead of hopping between n_clusters × 3 output
+        // lanes on every point.
+        scratch.cluster_cursor.clear();
+        let mut acc = 0usize;
+        for &cnt in &scratch.cluster_counts {
+            scratch.cluster_cursor.push(acc);
+            acc += cnt;
+        }
+        // Every slot below `acc` is written exactly once before any read,
+        // so the buffer only ever needs growing.
+        if scratch.perm.len() < acc {
+            scratch.perm.resize(acc, 0);
+        } else {
+            scratch.perm.truncate(acc);
+        }
+        for i in 0..cloud.len() {
+            if let Some(c) = scratch.dbscan.label(i) {
+                let pos = scratch.cluster_cursor[c];
+                scratch.perm[pos] = i as u32;
+                scratch.cluster_cursor[c] = pos + 1;
             }
+        }
+        let mut start = 0usize;
+        for (c, obj) in objects.iter_mut().enumerate() {
+            let end = start + scratch.cluster_counts[c];
+            for &i in &scratch.perm[start..end] {
+                obj.points.push(cloud.point(i as usize));
+            }
+            start = end;
         }
 
         let first_frame = self.frames_seen == 0;
-        self.next_centroids.clear();
+        scratch.next_centroids.clear();
         for (c, obj) in objects.iter_mut().enumerate() {
-            let centroid = self.cluster_sums[c] / self.cluster_counts[c] as f64;
-            self.next_centroids.push(centroid);
+            let centroid = scratch.cluster_sums[c] / scratch.cluster_counts[c] as f64;
+            scratch.next_centroids.push(centroid);
 
             let nearest = self
                 .prev_centroids
@@ -219,11 +288,11 @@ impl MovingObjectExtractor {
             obj.displacement = displacement;
         }
 
-        std::mem::swap(&mut self.prev_centroids, &mut self.next_centroids);
+        std::mem::swap(&mut self.prev_centroids, &mut scratch.next_centroids);
         self.frames_seen += 1;
         ExtractionOutput {
             objects,
-            noise_points: self.dbscan.noise_count(),
+            noise_points: scratch.dbscan.noise_count(),
         }
     }
 

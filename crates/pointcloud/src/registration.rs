@@ -287,7 +287,7 @@ mod tests {
     fn apply_planar_preserves_z() {
         let c = PointCloud::from_points(vec![Vec3::new(1.0, 2.0, 0.7)]);
         let out = apply_planar(&c, Pose2::new(Vec2::new(1.0, 0.0), 0.0));
-        assert_eq!(out.points()[0].z, 0.7);
-        assert_eq!(out.points()[0].x, 2.0);
+        assert_eq!(out.point(0).z, 0.7);
+        assert_eq!(out.point(0).x, 2.0);
     }
 }

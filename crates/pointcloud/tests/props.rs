@@ -66,7 +66,7 @@ proptest! {
         let merged = merge_clouds([&a], voxel);
         let diag = voxel * 3f64.sqrt();
         for m in merged.iter() {
-            let near = a.iter().any(|p| p.distance(*m) <= diag + 1e-9);
+            let near = a.iter().any(|p| p.distance(m) <= diag + 1e-9);
             prop_assert!(near);
         }
     }
@@ -109,8 +109,8 @@ proptest! {
         prop_assert_eq!(w.len(), c.len());
         // Pairwise distances preserved (rigid).
         if c.len() >= 2 {
-            let d0 = c.points()[0].distance(c.points()[1]);
-            let d1 = w.points()[0].distance(w.points()[1]);
+            let d0 = c.point(0).distance(c.point(1));
+            let d1 = w.point(0).distance(w.point(1));
             prop_assert!((d0 - d1).abs() < 1e-6 * d0.max(1.0));
         }
     }

@@ -1,0 +1,269 @@
+//! Differential suite for the struct-of-arrays `PointCloud` layout: every
+//! per-point pass must be *bit-identical* to the former array-of-structs
+//! implementation, and the incremental voxel map must stay integer-exact
+//! against a full rebuild under arbitrary per-vehicle upload churn.
+//!
+//! The references below are the pre-SoA implementations kept verbatim on a
+//! plain `Vec<Vec3>` (same iteration order, same scalar ops through
+//! `Transform3::apply`), so "the layout change changed no result" is
+//! proved at the unit level, not only through the end-to-end pipeline
+//! fingerprints in `tests/stage_graph_determinism.rs`.
+
+use erpd_geometry::{Transform3, Vec2, Vec3};
+use erpd_pointcloud::{DbscanParams, DbscanScratch, GroundFilter, PointCloud, PointCloudMerger};
+use erpd_rand::proptest::prelude::*;
+use erpd_rand::rngs::StdRng;
+use erpd_rand::{Rng, RngCore, SeedableRng};
+
+// --- The original array-of-structs cloud passes, verbatim ---------------
+
+/// `PointCloud::transformed` as it was on `Vec<Vec3>`.
+fn ref_transformed(points: &[Vec3], t: &Transform3) -> Vec<Vec3> {
+    points.iter().map(|p| t.apply(*p)).collect()
+}
+
+/// `GroundFilter::apply` as it was: `filtered(|p| p.z > thr)`.
+fn ref_ground(points: &[Vec3], thr: f64) -> Vec<Vec3> {
+    points.iter().copied().filter(|p| p.z > thr).collect()
+}
+
+/// The fused `filter_transform_into` as it was: filter, then transform,
+/// appended to `out` without clearing.
+fn ref_ground_transform_into(points: &[Vec3], thr: f64, t: &Transform3, out: &mut Vec<Vec3>) {
+    out.extend(points.iter().filter(|p| p.z > thr).map(|p| t.apply(*p)));
+}
+
+/// `PointCloud::bounds` as it was: a single `Vec3`-at-a-time min/max fold.
+fn ref_bounds(points: &[Vec3]) -> Option<(Vec3, Vec3)> {
+    let first = *points.first()?;
+    let mut min = first;
+    let mut max = first;
+    for p in &points[1..] {
+        min.x = min.x.min(p.x);
+        min.y = min.y.min(p.y);
+        min.z = min.z.min(p.z);
+        max.x = max.x.max(p.x);
+        max.y = max.y.max(p.y);
+        max.z = max.z.max(p.z);
+    }
+    Some((min, max))
+}
+
+/// `PointCloud::centroid` as it was: `Vec3` sum, then one divide.
+fn ref_centroid(points: &[Vec3]) -> Option<Vec3> {
+    if points.is_empty() {
+        return None;
+    }
+    Some(points.iter().copied().sum::<Vec3>() / points.len() as f64)
+}
+
+// --- Generators ---------------------------------------------------------
+
+/// A LiDAR-shaped random frame: ground returns near `z = -h`, object
+/// returns above, a few outliers — all coordinates in sensor frame.
+fn random_frame(seed: u64) -> Vec<Vec3> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xa0761d6478bd642f);
+    let n = rng.gen_range(0..400usize);
+    (0..n)
+        .map(|_| {
+            let x = (rng.next_unit_f64() - 0.5) * 120.0;
+            let y = (rng.next_unit_f64() - 0.5) * 120.0;
+            let z = match rng.gen_range(0..10u32) {
+                0..=4 => -1.8 + (rng.next_unit_f64() - 0.5) * 0.2, // ground band
+                5..=8 => -1.0 + rng.next_unit_f64() * 2.5,         // objects
+                _ => (rng.next_unit_f64() - 0.5) * 10.0,           // stray
+            };
+            Vec3::new(x, y, z)
+        })
+        .collect()
+}
+
+fn random_pose(rng: &mut StdRng) -> Transform3 {
+    let p = Vec2::new(
+        (rng.next_unit_f64() - 0.5) * 400.0,
+        (rng.next_unit_f64() - 0.5) * 400.0,
+    );
+    Transform3::lidar_to_world(p, (rng.next_unit_f64() - 0.5) * 6.4, 1.8)
+}
+
+fn assert_bits_eq(got: &PointCloud, want: &[Vec3]) {
+    assert_eq!(got.len(), want.len(), "point counts differ");
+    for (i, (a, b)) in got.iter().zip(want.iter()).enumerate() {
+        assert_eq!(a.x.to_bits(), b.x.to_bits(), "x of point {i}");
+        assert_eq!(a.y.to_bits(), b.y.to_bits(), "y of point {i}");
+        assert_eq!(a.z.to_bits(), b.z.to_bits(), "z of point {i}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Ground removal, the rigid transform, and their fused form on the
+    /// SoA lanes are bit-identical to the verbatim AoS reference —
+    /// including the z-lane-specialized `apply_transformed_into` hot path
+    /// and its append-without-clearing semantics.
+    #[test]
+    fn ground_and_transform_match_aos_reference(seed in 0u64..5_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let raw = random_frame(seed);
+        let cloud = PointCloud::from_points(raw.clone());
+        let t = random_pose(&mut rng);
+        let filter = GroundFilter::default();
+        let thr = filter.threshold();
+
+        assert_bits_eq(&filter.apply(&cloud), &ref_ground(&raw, thr));
+        assert_bits_eq(&cloud.transformed(&t), &ref_transformed(&raw, &t));
+
+        // Fused hot path, appended twice into the same scratch.
+        let mut out = PointCloud::new();
+        let mut ref_out = Vec::new();
+        filter.apply_transformed_into(&cloud, &t, &mut out);
+        ref_ground_transform_into(&raw, thr, &t, &mut ref_out);
+        let t2 = random_pose(&mut rng);
+        filter.apply_transformed_into(&cloud, &t2, &mut out);
+        ref_ground_transform_into(&raw, thr, &t2, &mut ref_out);
+        assert_bits_eq(&out, &ref_out);
+
+        // In-place removal leaves the same surviving points in order.
+        let mut in_place = cloud.clone();
+        filter.apply_in_place(&mut in_place);
+        assert_bits_eq(&in_place, &ref_ground(&raw, thr));
+    }
+
+    /// Whole-cloud folds (`bounds`, `centroid`) run per lane now but must
+    /// keep the AoS fold's exact results, and the round trip through
+    /// `from_points` / `iter` / `point` is the identity.
+    #[test]
+    fn folds_and_round_trip_match_aos_reference(seed in 0u64..5_000) {
+        let raw = random_frame(seed ^ 1);
+        let cloud = PointCloud::from_points(raw.clone());
+
+        match (cloud.bounds(), ref_bounds(&raw)) {
+            (None, None) => {}
+            (Some((gmin, gmax)), Some((wmin, wmax))) => {
+                assert_bits_eq(&PointCloud::from_points(vec![gmin, gmax]), &[wmin, wmax]);
+            }
+            (got, want) => panic!("bounds disagree on emptiness: {got:?} vs {want:?}"),
+        }
+        match (cloud.centroid(), ref_centroid(&raw)) {
+            (None, None) => {}
+            (Some(g), Some(w)) => assert_bits_eq(&PointCloud::from_points(vec![g]), &[w]),
+            (got, want) => panic!("centroid disagrees on emptiness: {got:?} vs {want:?}"),
+        }
+
+        assert_bits_eq(&cloud, &raw);
+        for (i, p) in raw.iter().enumerate() {
+            assert_eq!(cloud.point(i), *p);
+        }
+        assert_eq!(cloud.clone().into_points(), raw);
+    }
+
+    /// `DbscanScratch::run_lanes` over the cloud's raw x/y lanes labels
+    /// exactly as `run` over the materialized `Vec2` projection — the seam
+    /// that let the extractor stop building a planar copy per frame.
+    #[test]
+    fn dbscan_lanes_match_interleaved_projection(seed in 0u64..5_000) {
+        let raw = random_frame(seed ^ 2);
+        let cloud = PointCloud::from_points(raw.clone());
+        let planar: Vec<Vec2> = raw.iter().map(|p| Vec2::new(p.x, p.y)).collect();
+        let params = DbscanParams::new(1.2, 4);
+
+        let mut a = DbscanScratch::new();
+        let mut b = DbscanScratch::new();
+        a.run(&planar, params);
+        b.run_lanes(cloud.xs(), cloud.ys(), params);
+
+        prop_assert_eq!(a.n_clusters(), b.n_clusters());
+        prop_assert_eq!(a.noise_count(), b.noise_count());
+        for i in 0..raw.len() {
+            prop_assert_eq!(a.label(i), b.label(i), "label of point {}", i);
+        }
+    }
+}
+
+// --- Incremental merge vs full rebuild under upload churn ---------------
+
+/// A per-vehicle partial: a random world-frame cloud (with occasional NaN
+/// points, which the merge boundary must count and drop) fed through one
+/// `PointCloudMerger`.
+fn random_partial(rng: &mut StdRng, voxel_size: f64) -> PointCloudMerger {
+    let n = rng.gen_range(0..120usize);
+    let mut cloud = PointCloud::new();
+    for _ in 0..n {
+        if rng.gen_range(0..40u32) == 0 {
+            cloud.push(Vec3::new(f64::NAN, 0.0, 0.0));
+        } else {
+            cloud.push(Vec3::new(
+                (rng.next_unit_f64() - 0.5) * 60.0,
+                (rng.next_unit_f64() - 0.5) * 60.0,
+                rng.next_unit_f64() * 3.0,
+            ));
+        }
+    }
+    let mut m = PointCloudMerger::new(voxel_size);
+    m.add(&cloud);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random churn — vehicles joining, replacing their upload, leaving —
+    /// applied to one persistent `IncrementalMerger` must leave exactly
+    /// the occupied-voxel set, per-voxel counts, and input/rejection stats
+    /// of a from-scratch rebuild over the surviving partials, at every
+    /// intermediate step.
+    #[test]
+    fn incremental_merge_matches_full_rebuild_under_churn(seed in 0u64..5_000) {
+        use erpd_pointcloud::IncrementalMerger;
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xe7037ed1a0b428db);
+        let voxel = 0.4;
+        let mut map = IncrementalMerger::new(voxel);
+        let mut live: Vec<PointCloudMerger> = Vec::new();
+
+        for _ in 0..12 {
+            match rng.gen_range(0..3u32) {
+                // Join: a new vehicle's first upload.
+                0 => {
+                    let p = random_partial(&mut rng, voxel);
+                    map.absorb_partial(&p);
+                    live.push(p);
+                }
+                // Replace: retract a random vehicle's old upload, absorb
+                // its new one — the steady-state per-frame operation.
+                1 if !live.is_empty() => {
+                    let k = rng.gen_range(0..live.len());
+                    map.retract_partial(&live[k]);
+                    let p = random_partial(&mut rng, voxel);
+                    map.absorb_partial(&p);
+                    live[k] = p;
+                }
+                // Leave: retract without replacement.
+                2 if !live.is_empty() => {
+                    let k = rng.gen_range(0..live.len());
+                    let p = live.swap_remove(k);
+                    map.retract_partial(&p);
+                }
+                _ => {}
+            }
+
+            let mut rebuild = IncrementalMerger::new(voxel);
+            for p in &live {
+                rebuild.absorb_partial(p);
+            }
+            prop_assert_eq!(map.voxel_counts(), rebuild.voxel_counts());
+            prop_assert_eq!(map.output_points(), rebuild.output_points());
+            prop_assert_eq!(map.input_points(), rebuild.input_points());
+            prop_assert_eq!(map.rejected_points(), rebuild.rejected_points());
+        }
+
+        // Retract everything: the map must return exactly to empty.
+        for p in &live {
+            map.retract_partial(p);
+        }
+        prop_assert_eq!(map.output_points(), 0);
+        prop_assert_eq!(map.input_points(), 0);
+        prop_assert_eq!(map.rejected_points(), 0);
+    }
+}
